@@ -1,0 +1,30 @@
+"""E10 — the Section 2 multiprocessor <-> arithmetic multi-interval view."""
+
+import pytest
+
+from repro.core.multiproc_gap_dp import solve_multiprocessor_gap
+from repro.generators import random_multiprocessor_instance
+from repro.reductions import multiprocessor_as_multi_interval
+from repro.reductions.multiproc_as_intervals import gap_correspondence
+
+
+@pytest.mark.parametrize("n,p", [(6, 2), (8, 3)])
+def test_view_construction_and_correspondence(benchmark, n, p):
+    instance = random_multiprocessor_instance(
+        num_jobs=n, num_processors=p, horizon=2 * n, max_window=n, seed=n * 7 + p
+    )
+    solution = solve_multiprocessor_gap(instance)
+
+    def build_and_check():
+        view = multiprocessor_as_multi_interval(instance)
+        return gap_correspondence(view, solution.require_schedule())
+
+    mp_gaps, mi_gaps, used = benchmark(build_and_check)
+    assert mi_gaps == mp_gaps + used - 1
+
+
+def test_view_respects_arithmetic_structure(benchmark, medium_multiproc_instance):
+    view = benchmark(multiprocessor_as_multi_interval, medium_multiproc_instance)
+    p = medium_multiproc_instance.num_processors
+    for source_job, view_job in zip(medium_multiproc_instance.jobs, view.instance.jobs):
+        assert view_job.num_times == p * source_job.window_length

@@ -1,0 +1,83 @@
+"""E11 — runtime scaling micro-benchmarks of every solver and substrate."""
+
+import pytest
+
+from repro.core.feasibility import edf_schedule, feasible_schedule_multiproc
+from repro.core.multiproc_gap_dp import solve_multiprocessor_gap
+from repro.core.multiproc_power_dp import solve_multiprocessor_power
+from repro.core.power_approx import approximate_power_schedule
+from repro.generators import (
+    random_multi_interval_instance,
+    random_multiprocessor_instance,
+    random_one_interval_instance,
+)
+from repro.matching import BipartiteGraph, hopcroft_karp
+from repro.setpacking import SetPackingInstance, local_search_set_packing
+
+
+@pytest.mark.parametrize("n", [8, 16, 24])
+def test_gap_dp_scaling_in_n(benchmark, n):
+    instance = random_multiprocessor_instance(
+        num_jobs=n, num_processors=2, horizon=3 * n, max_window=n // 2 + 1, seed=n
+    )
+    assert benchmark(solve_multiprocessor_gap, instance).feasible
+
+
+@pytest.mark.parametrize("p", [1, 2, 3])
+def test_gap_dp_scaling_in_p(benchmark, p):
+    instance = random_multiprocessor_instance(
+        num_jobs=10, num_processors=p, horizon=30, max_window=6, seed=p * 11
+    )
+    assert benchmark(solve_multiprocessor_gap, instance).feasible
+
+
+@pytest.mark.parametrize("n", [8, 16])
+def test_power_dp_scaling_in_n(benchmark, n):
+    instance = random_multiprocessor_instance(
+        num_jobs=n, num_processors=2, horizon=3 * n, max_window=n // 2 + 1, seed=n + 1
+    )
+    assert benchmark(solve_multiprocessor_power, instance, 2.0).feasible
+
+
+@pytest.mark.parametrize("n", [20, 40])
+def test_power_approx_scaling(benchmark, n):
+    instance = random_multi_interval_instance(
+        num_jobs=n, horizon=4 * n, intervals_per_job=2, interval_length=2, seed=n
+    )
+    result = benchmark(approximate_power_schedule, instance, 3.0)
+    assert result.schedule.is_complete()
+
+
+def test_edf_baseline_speed(benchmark):
+    instance = random_one_interval_instance(num_jobs=200, horizon=800, max_window=20, seed=3)
+    schedule = benchmark(edf_schedule, instance)
+    assert schedule.is_complete()
+
+
+def test_matching_feasibility_speed(benchmark):
+    instance = random_multiprocessor_instance(
+        num_jobs=60, num_processors=4, horizon=120, max_window=12, seed=6
+    )
+    schedule = benchmark(feasible_schedule_multiproc, instance)
+    assert schedule.is_complete()
+
+
+def test_hopcroft_karp_speed(benchmark):
+    graph = BipartiteGraph(n_left=300)
+    for i in range(300):
+        for offset in range(6):
+            graph.add_edge(i, (i * 3 + offset * 7) % 400)
+
+    def run():
+        match_left, _ = hopcroft_karp(graph)
+        return sum(1 for m in match_left if m != -1)
+
+    matched = benchmark(run)
+    assert matched >= 250
+
+
+def test_set_packing_local_search_speed(benchmark):
+    sets = [[i, i + 1, 1000 + (i % 17)] for i in range(0, 200, 2)]
+    instance = SetPackingInstance(sets=sets)
+    chosen = benchmark(local_search_set_packing, instance, 2)
+    assert instance.is_packing(chosen)

@@ -1,0 +1,32 @@
+"""E12 — the power simulator agrees with the analytical accounting."""
+
+import pytest
+
+from repro.core.multiproc_power_dp import solve_multiprocessor_power
+from repro.power import PowerModel, SleepStatePolicy, simulate_schedule
+
+
+@pytest.mark.parametrize("alpha", [0.5, 2.0, 6.0])
+def test_simulator_matches_analytic_power(benchmark, bursty_instance, alpha):
+    solution = solve_multiprocessor_power(bursty_instance, alpha=alpha)
+    schedule = solution.require_schedule()
+    sim = benchmark(
+        simulate_schedule, schedule, PowerModel(alpha=alpha), SleepStatePolicy.OPTIMAL_OFFLINE
+    )
+    assert sim.total_energy == pytest.approx(solution.power)
+
+
+def test_policy_comparison(benchmark, bursty_instance):
+    solution = solve_multiprocessor_power(bursty_instance, alpha=3.0)
+    schedule = solution.require_schedule()
+    model = PowerModel(alpha=3.0)
+
+    def run_policies():
+        return {
+            policy: simulate_schedule(schedule, model, policy, timeout=2).total_energy
+            for policy in SleepStatePolicy
+        }
+
+    energies = benchmark(run_policies)
+    optimal = energies[SleepStatePolicy.OPTIMAL_OFFLINE]
+    assert all(optimal <= value + 1e-9 for value in energies.values())

@@ -1,0 +1,30 @@
+"""E4 — greedy 3-approximation [FHKN06] vs the exact DP on one processor."""
+
+import pytest
+
+from repro.core.baptiste import minimize_gaps_single_processor
+from repro.core.greedy_gap import greedy_gap_schedule
+from repro.generators import random_one_interval_instance
+
+
+def test_greedy_runtime(benchmark, medium_one_interval_instance):
+    result = benchmark(greedy_gap_schedule, medium_one_interval_instance)
+    assert result.feasible
+
+
+def test_exact_runtime(benchmark, medium_one_interval_instance):
+    result = benchmark(minimize_gaps_single_processor, medium_one_interval_instance)
+    assert result.feasible
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_greedy_within_three_times_optimum(benchmark, seed):
+    instance = random_one_interval_instance(
+        num_jobs=8, horizon=22, max_window=6, seed=seed
+    )
+
+    def both():
+        return greedy_gap_schedule(instance), minimize_gaps_single_processor(instance)
+
+    greedy, exact = benchmark(both)
+    assert greedy.num_gaps <= max(3 * exact.num_gaps, 1)

@@ -1,0 +1,52 @@
+"""E5 — Theorems 4 and 6: set-cover hardness gadget correspondences."""
+
+import pytest
+
+from repro.core.brute_force import (
+    brute_force_gap_multi_interval,
+    brute_force_power_multi_interval,
+)
+from repro.generators.random_jobs import random_set_cover_instance
+from repro.reductions import build_gap_gadget, build_power_gadget
+from repro.setcover import exact_set_cover, greedy_set_cover
+
+
+@pytest.fixture(scope="module")
+def cover_instance():
+    return random_set_cover_instance(num_elements=5, num_sets=5, max_set_size=3, seed=2)
+
+
+def test_gadget_construction_runtime(benchmark, cover_instance):
+    gadget = benchmark(build_power_gadget, cover_instance)
+    assert gadget.instance.num_jobs == cover_instance.num_elements + 1
+
+
+def test_gap_gadget_correspondence(benchmark, cover_instance):
+    gadget = build_gap_gadget(cover_instance)
+
+    def solve_both():
+        cover = exact_set_cover(cover_instance)
+        gaps, _ = brute_force_gap_multi_interval(gadget.instance)
+        return cover, gaps
+
+    cover, gaps = benchmark(solve_both)
+    assert gaps == len(cover)
+
+
+def test_power_gadget_correspondence(benchmark, cover_instance):
+    gadget = build_power_gadget(cover_instance)
+
+    def solve_both():
+        cover = exact_set_cover(cover_instance)
+        power, _ = brute_force_power_multi_interval(gadget.instance, gadget.alpha)
+        return cover, power
+
+    cover, power = benchmark(solve_both)
+    assert power == pytest.approx(gadget.power_of_cover_size(len(cover)))
+
+
+def test_greedy_cover_maps_to_schedule(benchmark, cover_instance):
+    gadget = build_gap_gadget(cover_instance)
+    cover = greedy_set_cover(cover_instance)
+    schedule = benchmark(gadget.cover_to_schedule, cover)
+    assert schedule.num_gaps() == len(cover)

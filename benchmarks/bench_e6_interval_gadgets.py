@@ -1,0 +1,46 @@
+"""E6 — Theorems 7 and 8: 2-interval and 3-unit gadget optima."""
+
+import pytest
+
+from repro import MultiIntervalInstance
+from repro.core.brute_force import brute_force_gap_multi_interval
+from repro.reductions import build_three_unit_gadget, build_two_interval_gadget
+
+
+@pytest.fixture(scope="module")
+def source_instance():
+    return MultiIntervalInstance.from_time_lists([[0, 4, 8], [1, 5, 9], [4, 5]])
+
+
+def test_two_interval_gadget_relation(benchmark, source_instance):
+    gadget = build_two_interval_gadget(source_instance)
+
+    def solve_both():
+        source_opt, _ = brute_force_gap_multi_interval(source_instance)
+        gadget_opt, _ = brute_force_gap_multi_interval(gadget.instance)
+        return source_opt, gadget_opt
+
+    source_opt, gadget_opt = benchmark(solve_both)
+    assert source_opt <= gadget_opt <= source_opt + 1
+    assert gadget.max_intervals() <= 2
+
+
+def test_three_unit_gadget_relation(benchmark, source_instance):
+    gadget = build_three_unit_gadget(source_instance)
+
+    def solve_both():
+        source_opt, _ = brute_force_gap_multi_interval(source_instance)
+        gadget_opt, _ = brute_force_gap_multi_interval(gadget.instance)
+        return source_opt, gadget_opt
+
+    source_opt, gadget_opt = benchmark(solve_both)
+    assert source_opt <= gadget_opt <= source_opt + 1
+    assert gadget.max_unit_times() <= 3
+
+
+def test_gadget_construction_scales(benchmark):
+    source = MultiIntervalInstance.from_time_lists(
+        [[i, i + 10, i + 20, i + 30] for i in range(10)]
+    )
+    gadget = benchmark(build_three_unit_gadget, source)
+    assert gadget.max_unit_times() <= 3

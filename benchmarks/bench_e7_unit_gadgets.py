@@ -1,0 +1,56 @@
+"""E7 — Theorems 9 and 10: 2-unit / disjoint-unit gadget correspondences."""
+
+import pytest
+
+from repro import MultiIntervalInstance
+from repro.core.brute_force import brute_force_gap_multi_interval
+from repro.generators.random_jobs import random_set_cover_instance
+from repro.reductions import (
+    build_disjoint_unit_gadget,
+    disjoint_unit_to_two_unit,
+    two_unit_to_disjoint_unit,
+)
+from repro.setcover import exact_set_cover
+
+
+@pytest.fixture(scope="module")
+def b_cover_instance():
+    return random_set_cover_instance(num_elements=5, num_sets=5, max_set_size=2, seed=4)
+
+
+def test_disjoint_unit_gadget_spans_equal_cover(benchmark, b_cover_instance):
+    gadget = build_disjoint_unit_gadget(b_cover_instance)
+
+    def solve():
+        cover = exact_set_cover(b_cover_instance)
+        schedule = gadget.cover_to_schedule(cover)
+        return cover, schedule
+
+    cover, schedule = benchmark(solve)
+    assert schedule.num_spans() == len(cover)
+
+
+def test_two_unit_round_trip(benchmark):
+    source = MultiIntervalInstance.from_time_lists([[0, 1], [1, 2], [6, 7], [10, 11]])
+
+    def round_trip():
+        disjoint = two_unit_to_disjoint_unit(source)
+        back = disjoint_unit_to_two_unit(disjoint.instance)
+        return disjoint, back
+
+    disjoint, back = benchmark(round_trip)
+    assert disjoint.instance.is_disjoint_unit()
+    assert all(job.num_times <= 2 for job in back.instance.jobs)
+
+
+def test_two_unit_equivalence_optimum(benchmark):
+    source = MultiIntervalInstance.from_time_lists([[0, 1], [1, 2], [6, 7]])
+    derived = two_unit_to_disjoint_unit(source).instance
+
+    def solve_both():
+        a, _ = brute_force_gap_multi_interval(source)
+        b, _ = brute_force_gap_multi_interval(derived)
+        return a, b
+
+    a, b = benchmark(solve_both)
+    assert abs(a - b) <= 1

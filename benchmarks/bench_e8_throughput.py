@@ -1,0 +1,43 @@
+"""E8 — Theorem 11: greedy throughput under a gap budget."""
+
+import math
+
+import pytest
+
+from repro.core.brute_force import brute_force_throughput
+from repro.core.throughput import greedy_throughput_schedule
+from repro.generators import random_multi_interval_instance
+
+
+@pytest.mark.parametrize("budget", [1, 2, 4])
+def test_greedy_throughput_runtime(benchmark, medium_multi_interval_instance, budget):
+    result = benchmark(greedy_throughput_schedule, medium_multi_interval_instance, budget)
+    result.schedule.validate(require_complete=False)
+    assert result.num_internal_gaps <= max(0, budget - 1)
+
+
+@pytest.mark.parametrize("budget", [1, 2])
+def test_greedy_against_optimum(benchmark, budget):
+    instance = random_multi_interval_instance(
+        num_jobs=7, horizon=21, intervals_per_job=2, interval_length=2, seed=budget
+    )
+
+    def both():
+        greedy = greedy_throughput_schedule(instance, max_gaps=budget)
+        optimum, _ = brute_force_throughput(instance, max_gaps=budget)
+        return greedy, optimum
+
+    greedy, optimum = benchmark(both)
+    n = instance.num_jobs
+    assert greedy.num_scheduled * (2 * math.sqrt(n) + 1) >= optimum
+
+
+def test_budget_sweep_monotone(benchmark, sensor_instance):
+    def sweep():
+        return [
+            greedy_throughput_schedule(sensor_instance, max_gaps=k).num_scheduled
+            for k in range(1, 6)
+        ]
+
+    counts = benchmark(sweep)
+    assert counts == sorted(counts)

@@ -1,0 +1,35 @@
+"""E9 — the Omega(n) online lower bound family."""
+
+import pytest
+
+from repro.core.baptiste import minimize_gaps_single_processor
+from repro.core.online import online_gap_schedule, online_lower_bound_instance
+
+
+@pytest.mark.parametrize("n", [4, 8, 16])
+def test_online_edf_gap_growth(benchmark, n):
+    instance = online_lower_bound_instance(n)
+    schedule = benchmark(online_gap_schedule, instance)
+    assert schedule.num_gaps() >= n - 1
+
+
+@pytest.mark.parametrize("n", [4, 8])
+def test_offline_optimum_stays_constant(benchmark, n):
+    instance = online_lower_bound_instance(n)
+    result = benchmark(minimize_gaps_single_processor, instance)
+    assert result.num_gaps <= 1
+
+
+def test_competitive_gap_ratio_grows(benchmark):
+    def ratio_curve():
+        points = []
+        for n in (3, 6, 9):
+            instance = online_lower_bound_instance(n)
+            online = online_gap_schedule(instance).num_gaps()
+            offline = minimize_gaps_single_processor(instance).num_gaps
+            points.append(online - offline)
+        return points
+
+    differences = benchmark(ratio_curve)
+    assert differences == sorted(differences)
+    assert differences[-1] >= 8

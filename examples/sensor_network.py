@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Duty-cycled sensor transmissions: multi-interval power minimization (Theorem 3).
+
+Scenario: sensors share a radio channel; each reading may be transmitted in a
+short window of its own period or of the following period, so every
+transmission job has two allowed intervals — a genuinely multi-interval
+instance, for which exact optimization is set-cover hard (Theorem 4).  We run
+the paper's (1 + (2/3 + eps) * alpha)-approximation and compare it against:
+
+* the trivial lower bound (every job costs at least one time unit, plus one
+  wake-up),
+* the exact optimum computed by brute force when the instance is small
+  enough.
+
+Run with ``python examples/sensor_network.py``.
+"""
+
+from repro.analysis import ExperimentTable, format_table
+from repro.core.brute_force import brute_force_power_multi_interval
+from repro.core.power_approx import approximate_power_schedule
+from repro.generators import periodic_sensor_instance
+
+
+def main() -> None:
+    alpha = 5.0
+    table = ExperimentTable(
+        experiment_id="SENSOR",
+        title=f"Theorem 3 approximation on sensor workloads (alpha={alpha})",
+        columns=["sensors", "jobs", "approx_power", "spans", "lower_bound", "optimum"],
+        notes="optimum computed by brute force only for the smallest configuration",
+    )
+
+    for num_sensors, readings in [(3, 2), (5, 2), (8, 3)]:
+        instance = periodic_sensor_instance(
+            num_sensors=num_sensors,
+            readings_per_sensor=readings,
+            period=10,
+            window=2,
+            seed=3,
+        )
+        result = approximate_power_schedule(instance, alpha=alpha)
+        n = instance.num_jobs
+        lower_bound = n + alpha  # execution plus at least one wake-up
+        if n <= 6:
+            optimum, _ = brute_force_power_multi_interval(instance, alpha=alpha)
+        else:
+            optimum = None
+        table.add_row(
+            num_sensors, n, result.power, result.num_spans, lower_bound, optimum
+        )
+
+    print(format_table(table))
+    print()
+    print(
+        "The approximation is guaranteed to stay within a factor "
+        "1 + (2/3 + eps) * alpha of optimal (Theorem 3); on these structured "
+        "workloads it is typically much closer, because the set-packing phase "
+        "pairs up transmissions from overlapping windows."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``.  This file exists
+so that ``pip install -e .`` works in fully offline environments where the
+``wheel`` package (required for PEP 517 editable installs with older
+setuptools) is unavailable: pip falls back to the legacy ``setup.py develop``
+code path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,91 @@
+"""repro — reproduction of "Scheduling to Minimize Gaps and Power Consumption".
+
+This package implements the full algorithmic content of Demaine, Ghodsi,
+Hajiaghayi, Sayedi-Roshkhar and Zadimoghaddam (SPAA 2007):
+
+* exact multiprocessor gap scheduling and power minimization (Theorems 1-2),
+* the (1 + (2/3 + eps) * alpha)-approximation for multi-interval power
+  minimization (Theorem 3),
+* the O(sqrt(n))-approximation for throughput under a gap budget (Theorem 11),
+* executable versions of every hardness gadget (Theorems 4-10),
+* the substrates they rely on (bipartite matching, set cover, set packing),
+* instance generators, a power simulator, baselines, and a benchmark harness.
+
+Most users only need the top-level re-exports below; see ``README.md`` for a
+quickstart and ``DESIGN.md`` for the full system inventory.
+"""
+
+from .core import (
+    BaptisteGapResult,
+    BaptistePowerResult,
+    GapSolution,
+    InfeasibleInstanceError,
+    InvalidInstanceError,
+    InvalidScheduleError,
+    Job,
+    MultiIntervalInstance,
+    MultiIntervalJob,
+    MultiprocessorGapSolver,
+    MultiprocessorInstance,
+    MultiprocessorPowerSolver,
+    MultiprocessorSchedule,
+    OneIntervalInstance,
+    PowerSolution,
+    ReproError,
+    Schedule,
+    SolverError,
+    complete_partial_schedule,
+    edf_schedule,
+    feasible_schedule,
+    feasible_schedule_multiproc,
+    gap_lengths_of_busy_times,
+    gaps_of_busy_times,
+    is_feasible,
+    is_feasible_multiproc,
+    jobs_from_pairs,
+    minimize_gaps_single_processor,
+    minimize_power_single_processor,
+    power_cost_of_busy_times,
+    solve_multiprocessor_gap,
+    solve_multiprocessor_power,
+    spans_of_busy_times,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "Job",
+    "MultiIntervalJob",
+    "OneIntervalInstance",
+    "MultiprocessorInstance",
+    "MultiIntervalInstance",
+    "jobs_from_pairs",
+    "Schedule",
+    "MultiprocessorSchedule",
+    "gaps_of_busy_times",
+    "gap_lengths_of_busy_times",
+    "spans_of_busy_times",
+    "power_cost_of_busy_times",
+    "ReproError",
+    "InvalidInstanceError",
+    "InfeasibleInstanceError",
+    "InvalidScheduleError",
+    "SolverError",
+    "is_feasible",
+    "is_feasible_multiproc",
+    "feasible_schedule",
+    "feasible_schedule_multiproc",
+    "edf_schedule",
+    "complete_partial_schedule",
+    "minimize_gaps_single_processor",
+    "minimize_power_single_processor",
+    "BaptisteGapResult",
+    "BaptistePowerResult",
+    "MultiprocessorGapSolver",
+    "GapSolution",
+    "solve_multiprocessor_gap",
+    "MultiprocessorPowerSolver",
+    "PowerSolution",
+    "solve_multiprocessor_power",
+]

@@ -1,0 +1,99 @@
+"""Derived metrics shared by tests, examples and the experiment harness."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+from ..core.schedule import MultiprocessorSchedule, Schedule
+
+__all__ = [
+    "approximation_ratio",
+    "gap_statistics",
+    "power_breakdown",
+    "schedule_summary",
+]
+
+
+def approximation_ratio(achieved: float, optimal: float) -> float:
+    """Ratio of an algorithm's objective value to the optimum.
+
+    Conventions: a zero optimum with a zero achieved value is a ratio of 1;
+    a zero optimum with a positive achieved value is reported as ``inf``
+    (the caller decides how to present unbounded ratios).
+    """
+    if optimal < 0 or achieved < 0:
+        raise ValueError("objective values must be non-negative")
+    if optimal == 0:
+        return 1.0 if achieved == 0 else float("inf")
+    return achieved / optimal
+
+
+def gap_statistics(schedule: Union[Schedule, MultiprocessorSchedule]) -> Dict[str, float]:
+    """Gap-related summary statistics of a schedule."""
+    if isinstance(schedule, MultiprocessorSchedule):
+        from ..core.schedule import gap_lengths_of_busy_times
+
+        lengths: List[int] = []
+        for times in schedule.busy_times_by_processor().values():
+            lengths.extend(gap_lengths_of_busy_times(times))
+        num_gaps = schedule.num_gaps()
+    else:
+        lengths = schedule.gap_lengths()
+        num_gaps = schedule.num_gaps()
+    total = float(sum(lengths))
+    return {
+        "num_gaps": float(num_gaps),
+        "total_idle": total,
+        "mean_gap_length": total / num_gaps if num_gaps else 0.0,
+        "max_gap_length": float(max(lengths)) if lengths else 0.0,
+    }
+
+
+def power_breakdown(
+    schedule: Union[Schedule, MultiprocessorSchedule], alpha: float
+) -> Dict[str, float]:
+    """Decompose the power cost into execution, bridged idle and wake-up terms."""
+    if isinstance(schedule, MultiprocessorSchedule):
+        per_processor = schedule.busy_times_by_processor().values()
+    else:
+        per_processor = [schedule.busy_times()]
+
+    from ..core.schedule import gap_lengths_of_busy_times
+
+    execution = 0.0
+    bridged_idle = 0.0
+    wakeups = 0.0
+    for times in per_processor:
+        times = sorted(times)
+        if not times:
+            continue
+        execution += len(times)
+        wakeups += alpha
+        for gap in gap_lengths_of_busy_times(times):
+            if gap < alpha:
+                bridged_idle += gap
+            else:
+                wakeups += alpha
+    return {
+        "execution": execution,
+        "bridged_idle": bridged_idle,
+        "wakeup": wakeups,
+        "total": execution + bridged_idle + wakeups,
+    }
+
+
+def schedule_summary(
+    schedule: Union[Schedule, MultiprocessorSchedule], alpha: Optional[float] = None
+) -> Dict[str, float]:
+    """One-line summary used by the examples and the CLI."""
+    summary: Dict[str, float] = {
+        "jobs_scheduled": float(schedule.num_scheduled),
+        "num_gaps": float(schedule.num_gaps()),
+    }
+    if isinstance(schedule, MultiprocessorSchedule):
+        summary["used_processors"] = float(schedule.used_processors())
+    else:
+        summary["num_spans"] = float(schedule.num_spans())
+    if alpha is not None:
+        summary["power"] = float(schedule.power_cost(alpha))
+    return summary

@@ -1,0 +1,164 @@
+"""Command-line interface: ``python -m repro`` or the ``repro-sched`` script.
+
+Sub-commands
+------------
+``solve-gap``
+    Solve a one-interval multiprocessor instance given as ``release,deadline``
+    pairs and print the optimal schedule and gap count (Theorem 1).
+``solve-power``
+    Same input plus ``--alpha``; prints the optimal power schedule (Theorem 2).
+``approx-power``
+    Multi-interval instance given as semicolon-separated time lists; runs the
+    Theorem 3 approximation.
+``throughput``
+    Multi-interval instance plus ``--max-gaps``; runs the Theorem 11 greedy.
+``experiment``
+    Regenerate one experiment table (or all of them) from DESIGN.md.
+
+The CLI is intentionally small: it exists so the examples in the README can
+be reproduced without writing Python, and so the experiment harness can be
+invoked from shell scripts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .analysis.experiments import ALL_EXPERIMENTS, run_all_experiments, run_experiment
+from .analysis.reporting import format_table, render_tables
+from .core.jobs import MultiIntervalInstance, MultiprocessorInstance
+from .core.multiproc_gap_dp import solve_multiprocessor_gap
+from .core.multiproc_power_dp import solve_multiprocessor_power
+from .core.power_approx import approximate_power_schedule
+from .core.throughput import greedy_throughput_schedule
+
+__all__ = ["main", "build_parser"]
+
+
+def _parse_pairs(specs: Sequence[str]) -> List[tuple]:
+    pairs = []
+    for spec in specs:
+        parts = spec.split(",")
+        if len(parts) != 2:
+            raise argparse.ArgumentTypeError(
+                f"job {spec!r} is not of the form release,deadline"
+            )
+        pairs.append((int(parts[0]), int(parts[1])))
+    return pairs
+
+
+def _parse_time_lists(spec: str) -> List[List[int]]:
+    jobs = []
+    for chunk in spec.split(";"):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        jobs.append([int(token) for token in chunk.replace(",", " ").split()])
+    return jobs
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-sched",
+        description="Gap and power scheduling (SPAA 2007 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gap = sub.add_parser("solve-gap", help="exact multiprocessor gap scheduling")
+    gap.add_argument("jobs", nargs="+", help="jobs as release,deadline pairs")
+    gap.add_argument("--processors", "-p", type=int, default=1)
+
+    power = sub.add_parser("solve-power", help="exact multiprocessor power minimization")
+    power.add_argument("jobs", nargs="+", help="jobs as release,deadline pairs")
+    power.add_argument("--processors", "-p", type=int, default=1)
+    power.add_argument("--alpha", type=float, required=True)
+
+    approx = sub.add_parser("approx-power", help="Theorem 3 approximation")
+    approx.add_argument(
+        "jobs", help="semicolon-separated allowed-time lists, e.g. '0 1;4 5;0 4'"
+    )
+    approx.add_argument("--alpha", type=float, required=True)
+
+    throughput = sub.add_parser("throughput", help="Theorem 11 greedy throughput")
+    throughput.add_argument("jobs", help="semicolon-separated allowed-time lists")
+    throughput.add_argument("--max-gaps", type=int, required=True)
+
+    experiment = sub.add_parser("experiment", help="regenerate experiment tables")
+    experiment.add_argument(
+        "which", nargs="?", default="all", help="experiment id (E1..E12) or 'all'"
+    )
+    experiment.add_argument("--scale", choices=["smoke", "paper"], default="smoke")
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.command == "solve-gap":
+        instance = MultiprocessorInstance.from_pairs(
+            _parse_pairs(args.jobs), num_processors=args.processors
+        )
+        solution = solve_multiprocessor_gap(instance)
+        if not solution.feasible:
+            print("infeasible")
+            return 1
+        print(f"optimal gaps: {solution.num_gaps}")
+        for job_idx, name, proc, t in solution.require_schedule().as_table():
+            print(f"  t={t:>4}  processor {proc}  job {name} (#{job_idx})")
+        return 0
+
+    if args.command == "solve-power":
+        instance = MultiprocessorInstance.from_pairs(
+            _parse_pairs(args.jobs), num_processors=args.processors
+        )
+        solution = solve_multiprocessor_power(instance, alpha=args.alpha)
+        if not solution.feasible:
+            print("infeasible")
+            return 1
+        print(f"optimal power: {solution.power:g} (alpha={args.alpha:g})")
+        for job_idx, name, proc, t in solution.require_schedule().as_table():
+            print(f"  t={t:>4}  processor {proc}  job {name} (#{job_idx})")
+        return 0
+
+    if args.command == "approx-power":
+        instance = MultiIntervalInstance.from_time_lists(_parse_time_lists(args.jobs))
+        result = approximate_power_schedule(instance, alpha=args.alpha)
+        print(
+            f"power: {result.power:g}  gaps: {result.num_gaps}  "
+            f"guarantee factor: {result.guarantee_factor:g}"
+        )
+        for job_idx, name, t in result.schedule.as_table():
+            print(f"  t={t:>4}  job {name} (#{job_idx})")
+        return 0
+
+    if args.command == "throughput":
+        instance = MultiIntervalInstance.from_time_lists(_parse_time_lists(args.jobs))
+        result = greedy_throughput_schedule(instance, max_gaps=args.max_gaps)
+        print(
+            f"scheduled {result.num_scheduled}/{instance.num_jobs} jobs "
+            f"in {len(result.working_intervals)} working intervals"
+        )
+        for interval in result.working_intervals:
+            print(f"  interval [{interval.start}, {interval.end}] jobs {list(interval.jobs)}")
+        return 0
+
+    if args.command == "experiment":
+        if args.which.lower() == "all":
+            tables = run_all_experiments(scale=args.scale)
+            print(render_tables(tables))
+        else:
+            print(format_table(run_experiment(args.which, scale=args.scale)))
+        return 0
+
+    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

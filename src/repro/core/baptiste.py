@@ -1,0 +1,112 @@
+"""Single-processor optimal gap and power scheduling (Baptiste's problem).
+
+Baptiste [Bap06] gave the first polynomial-time algorithm for scheduling
+unit jobs with release times and deadlines on one machine while minimizing
+the number of idle periods (gaps); the same dynamic program also minimizes
+power with wake-up cost ``alpha``.  The paper's Theorem 1/2 dynamic program
+contains Baptiste's algorithm as the special case ``p = 1``, and this module
+exposes exactly that specialization with a single-processor-friendly API:
+schedules are returned as plain :class:`~repro.core.schedule.Schedule`
+objects (job -> time) instead of multiprocessor schedules.
+
+These functions are the exact baselines used throughout the experiment
+harness (e.g. against the greedy 3-approximation of [FHKN06] and against the
+online lower-bound family).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from .exceptions import InfeasibleInstanceError
+from .jobs import MultiprocessorInstance, OneIntervalInstance
+from .multiproc_gap_dp import MultiprocessorGapSolver
+from .multiproc_power_dp import MultiprocessorPowerSolver
+from .schedule import Schedule
+
+__all__ = [
+    "BaptisteGapResult",
+    "BaptistePowerResult",
+    "minimize_gaps_single_processor",
+    "minimize_power_single_processor",
+]
+
+
+@dataclass
+class BaptisteGapResult:
+    """Optimal single-processor gap scheduling result."""
+
+    feasible: bool
+    num_gaps: Optional[int]
+    schedule: Optional[Schedule]
+
+
+@dataclass
+class BaptistePowerResult:
+    """Optimal single-processor power minimization result."""
+
+    feasible: bool
+    power: Optional[float]
+    schedule: Optional[Schedule]
+    alpha: float
+
+
+def _as_single_processor(
+    instance: Union[OneIntervalInstance, MultiprocessorInstance]
+) -> OneIntervalInstance:
+    if isinstance(instance, MultiprocessorInstance):
+        if instance.num_processors != 1:
+            raise InfeasibleInstanceError(
+                "single-processor solver called with a multiprocessor instance; "
+                "use MultiprocessorGapSolver / MultiprocessorPowerSolver instead"
+            )
+        return instance.single_processor_view()
+    return instance
+
+
+def minimize_gaps_single_processor(
+    instance: Union[OneIntervalInstance, MultiprocessorInstance],
+    use_full_horizon: bool = False,
+) -> BaptisteGapResult:
+    """Minimize the number of gaps of a single-processor one-interval instance.
+
+    Returns a :class:`BaptisteGapResult`; ``feasible`` is ``False`` when the
+    jobs cannot all be scheduled.
+    """
+    single = _as_single_processor(instance)
+    solver = MultiprocessorGapSolver(
+        single.to_multiprocessor(1), use_full_horizon=use_full_horizon
+    )
+    solution = solver.solve()
+    if not solution.feasible or solution.schedule is None:
+        return BaptisteGapResult(feasible=False, num_gaps=None, schedule=None)
+    assignment = {job: t for job, (_proc, t) in solution.schedule.assignment.items()}
+    schedule = Schedule(instance=single, assignment=assignment)
+    schedule.validate()
+    return BaptisteGapResult(
+        feasible=True, num_gaps=solution.num_gaps, schedule=schedule
+    )
+
+
+def minimize_power_single_processor(
+    instance: Union[OneIntervalInstance, MultiprocessorInstance],
+    alpha: float,
+    use_full_horizon: bool = False,
+) -> BaptistePowerResult:
+    """Minimize the power cost of a single-processor one-interval instance."""
+    single = _as_single_processor(instance)
+    solver = MultiprocessorPowerSolver(
+        single.to_multiprocessor(1), alpha=alpha, use_full_horizon=use_full_horizon
+    )
+    solution = solver.solve()
+    if not solution.feasible or solution.schedule is None:
+        return BaptistePowerResult(
+            feasible=False, power=None, schedule=None, alpha=float(alpha)
+        )
+    assignment = {job: t for job, (_proc, t) in solution.schedule.assignment.items()}
+    schedule = Schedule(instance=single, assignment=assignment)
+    schedule.validate()
+    return BaptistePowerResult(
+        feasible=True, power=solution.power, schedule=schedule, alpha=float(alpha)
+    )

@@ -1,0 +1,229 @@
+"""Exact exponential-time oracles used to validate the polynomial solvers.
+
+Every optimization problem in the paper has a small-instance brute-force
+solver here.  These are deliberately written in the most direct way possible
+(enumerate, evaluate, take the best) so that they can serve as independent
+ground truth for the property-based tests and for the small-scale columns of
+the experiment tables.  They must only be called on small instances; each
+function documents its practical size limit.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from .jobs import (
+    Job,
+    MultiIntervalInstance,
+    MultiprocessorInstance,
+    OneIntervalInstance,
+)
+from .schedule import (
+    MultiprocessorSchedule,
+    Schedule,
+    gaps_of_busy_times,
+    power_cost_of_busy_times,
+)
+
+__all__ = [
+    "brute_force_gap_single",
+    "brute_force_gap_multiproc",
+    "brute_force_power_multiproc",
+    "brute_force_gap_multi_interval",
+    "brute_force_power_multi_interval",
+    "brute_force_throughput",
+    "enumerate_time_assignments",
+]
+
+SingleInstance = Union[OneIntervalInstance, MultiIntervalInstance]
+
+
+def _allowed_times(instance: SingleInstance) -> List[List[int]]:
+    allowed: List[List[int]] = []
+    for job in instance.jobs:
+        if isinstance(job, Job):
+            allowed.append(list(job.allowed_times()))
+        else:
+            allowed.append(list(job.times))
+    return allowed
+
+
+def enumerate_time_assignments(
+    allowed: Sequence[Sequence[int]], capacity: int = 1
+) -> Iterable[Dict[int, int]]:
+    """Yield every assignment of jobs to times respecting per-time ``capacity``.
+
+    Backtracks over jobs in index order; intended for n <= ~9 jobs.
+    """
+    n = len(allowed)
+    usage: Dict[int, int] = {}
+    current: Dict[int, int] = {}
+
+    def backtrack(job_idx: int):
+        if job_idx == n:
+            yield dict(current)
+            return
+        for t in allowed[job_idx]:
+            if usage.get(t, 0) >= capacity:
+                continue
+            usage[t] = usage.get(t, 0) + 1
+            current[job_idx] = t
+            yield from backtrack(job_idx + 1)
+            usage[t] -= 1
+            del current[job_idx]
+
+    yield from backtrack(0)
+
+
+def _stack_staircase(
+    instance: MultiprocessorInstance, times: Dict[int, int]
+) -> MultiprocessorSchedule:
+    by_time: Dict[int, List[int]] = {}
+    for job_idx, t in times.items():
+        by_time.setdefault(t, []).append(job_idx)
+    assignment: Dict[int, Tuple[int, int]] = {}
+    for t, job_indices in by_time.items():
+        for level, job_idx in enumerate(sorted(job_indices), start=1):
+            assignment[job_idx] = (level, t)
+    return MultiprocessorSchedule(instance=instance, assignment=assignment)
+
+
+def brute_force_gap_single(
+    instance: SingleInstance,
+) -> Tuple[Optional[int], Optional[Schedule]]:
+    """Optimal (gap count, schedule) for a single-processor instance, or (None, None).
+
+    Practical limit: about 9 jobs with windows of length up to ~8.
+    """
+    allowed = _allowed_times(instance)
+    best_gaps: Optional[int] = None
+    best_assignment: Optional[Dict[int, int]] = None
+    for assignment in enumerate_time_assignments(allowed, capacity=1):
+        gaps = gaps_of_busy_times(assignment.values())
+        if best_gaps is None or gaps < best_gaps:
+            best_gaps = gaps
+            best_assignment = assignment
+    if best_assignment is None:
+        if not allowed:
+            return 0, Schedule(instance=instance, assignment={})
+        return None, None
+    return best_gaps, Schedule(instance=instance, assignment=best_assignment)
+
+
+def brute_force_gap_multiproc(
+    instance: MultiprocessorInstance, exhaustive_processors: bool = False
+) -> Tuple[Optional[int], Optional[MultiprocessorSchedule]]:
+    """Optimal (total gaps, schedule) for a multiprocessor instance, or (None, None).
+
+    By default job-to-time assignments are enumerated and processors are
+    filled in staircase order, which is optimal by Lemma 1 of the paper.
+    With ``exhaustive_processors=True`` every explicit processor assignment
+    is enumerated as well (only sensible for ~5 jobs and 2 processors); the
+    test-suite uses this mode to validate Lemma 1 itself.
+    """
+    allowed = [list(job.allowed_times()) for job in instance.jobs]
+    p = instance.num_processors
+    best_gaps: Optional[int] = None
+    best_schedule: Optional[MultiprocessorSchedule] = None
+
+    if not allowed:
+        return 0, MultiprocessorSchedule(instance=instance, assignment={})
+
+    if exhaustive_processors:
+        slot_options = [
+            [(proc, t) for t in times for proc in range(1, p + 1)] for times in allowed
+        ]
+        for combo in itertools.product(*slot_options):
+            if len(set(combo)) != len(combo):
+                continue
+            schedule = MultiprocessorSchedule(
+                instance=instance,
+                assignment={i: slot for i, slot in enumerate(combo)},
+            )
+            gaps = schedule.num_gaps()
+            if best_gaps is None or gaps < best_gaps:
+                best_gaps = gaps
+                best_schedule = schedule
+        return best_gaps, best_schedule
+
+    for assignment in enumerate_time_assignments(allowed, capacity=p):
+        schedule = _stack_staircase(instance, assignment)
+        gaps = schedule.num_gaps()
+        if best_gaps is None or gaps < best_gaps:
+            best_gaps = gaps
+            best_schedule = schedule
+    return best_gaps, best_schedule
+
+
+def brute_force_power_multiproc(
+    instance: MultiprocessorInstance, alpha: float
+) -> Tuple[Optional[float], Optional[MultiprocessorSchedule]]:
+    """Optimal (power, schedule) for a multiprocessor instance, or (None, None).
+
+    Uses the staircase stacking justified by Lemma 2.  Practical limit: about
+    8 jobs.
+    """
+    allowed = [list(job.allowed_times()) for job in instance.jobs]
+    if not allowed:
+        return 0.0, MultiprocessorSchedule(instance=instance, assignment={})
+    p = instance.num_processors
+    best_power: Optional[float] = None
+    best_schedule: Optional[MultiprocessorSchedule] = None
+    for assignment in enumerate_time_assignments(allowed, capacity=p):
+        schedule = _stack_staircase(instance, assignment)
+        power = schedule.power_cost(alpha)
+        if best_power is None or power < best_power:
+            best_power = power
+            best_schedule = schedule
+    return best_power, best_schedule
+
+
+def brute_force_gap_multi_interval(
+    instance: MultiIntervalInstance,
+) -> Tuple[Optional[int], Optional[Schedule]]:
+    """Optimal (gap count, schedule) for a multi-interval instance, or (None, None)."""
+    return brute_force_gap_single(instance)
+
+
+def brute_force_power_multi_interval(
+    instance: MultiIntervalInstance, alpha: float
+) -> Tuple[Optional[float], Optional[Schedule]]:
+    """Optimal (power, schedule) for a multi-interval instance, or (None, None)."""
+    allowed = _allowed_times(instance)
+    best_power: Optional[float] = None
+    best_assignment: Optional[Dict[int, int]] = None
+    for assignment in enumerate_time_assignments(allowed, capacity=1):
+        power = power_cost_of_busy_times(assignment.values(), alpha)
+        if best_power is None or power < best_power:
+            best_power = power
+            best_assignment = assignment
+    if best_assignment is None:
+        if not allowed:
+            return 0.0, Schedule(instance=instance, assignment={})
+        return None, None
+    return best_power, Schedule(instance=instance, assignment=best_assignment)
+
+
+def brute_force_throughput(
+    instance: MultiIntervalInstance, max_gaps: int
+) -> Tuple[int, Optional[Schedule]]:
+    """Maximum number of jobs schedulable with at most ``max_gaps`` gaps.
+
+    Enumerates job subsets from largest to smallest and, for each subset,
+    every assignment; stops at the first subset size that admits a schedule
+    within the gap budget.  Practical limit: about 8 jobs.
+    """
+    n = instance.num_jobs
+    allowed = _allowed_times(instance)
+    for size in range(n, 0, -1):
+        for subset in itertools.combinations(range(n), size):
+            subset_allowed = [allowed[i] for i in subset]
+            for assignment in enumerate_time_assignments(subset_allowed, capacity=1):
+                times = list(assignment.values())
+                if gaps_of_busy_times(times) <= max_gaps:
+                    mapped = {
+                        subset[local]: t for local, t in assignment.items()
+                    }
+                    return size, Schedule(instance=instance, assignment=mapped)
+    return 0, Schedule(instance=instance, assignment={})

@@ -1,0 +1,134 @@
+"""Greedy 3-approximation for one-interval gap scheduling [FHKN06].
+
+The paper's related-work section describes the following simple algorithm
+for single-processor one-interval gap scheduling: repeatedly pick the
+*largest* interval of time that can be declared idle while still leaving a
+feasible schedule for all jobs (feasibility is checked with a maximum
+matching), remove those time slots, and repeat until no further idle
+interval can be inserted.  Feige, Hajiaghayi, Khanna and Naor proved that
+this greedy is a 3-approximation; the easy bound is O(lg n) by analogy with
+set cover.
+
+This module implements the greedy exactly as described.  It serves as the
+baseline against which the exact DP (Theorem 1 with p = 1) is compared in
+experiment E4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..matching import BipartiteGraph, hopcroft_karp
+from .exceptions import InfeasibleInstanceError
+from .jobs import OneIntervalInstance
+from .schedule import Schedule
+
+__all__ = ["GreedyGapResult", "greedy_gap_schedule"]
+
+
+@dataclass
+class GreedyGapResult:
+    """Result of the greedy gap-scheduling baseline."""
+
+    feasible: bool
+    num_gaps: Optional[int]
+    schedule: Optional[Schedule]
+    removed_intervals: List[Tuple[int, int]]
+
+
+def _feasible_with_slots(instance: OneIntervalInstance, slots: Sequence[int]) -> bool:
+    """Can all jobs be scheduled using only the given time slots?"""
+    slot_set = set(slots)
+    graph = BipartiteGraph(n_left=instance.num_jobs)
+    for job_idx, job in enumerate(instance.jobs):
+        for t in job.allowed_times():
+            if t in slot_set:
+                graph.add_edge(job_idx, t)
+    match_left, _ = hopcroft_karp(graph)
+    return all(m != -1 for m in match_left)
+
+
+def _schedule_with_slots(
+    instance: OneIntervalInstance, slots: Sequence[int]
+) -> Schedule:
+    slot_set = set(slots)
+    graph = BipartiteGraph(n_left=instance.num_jobs)
+    for job_idx, job in enumerate(instance.jobs):
+        for t in job.allowed_times():
+            if t in slot_set:
+                graph.add_edge(job_idx, t)
+    match_left, _ = hopcroft_karp(graph)
+    if any(m == -1 for m in match_left):
+        raise InfeasibleInstanceError("slot set became infeasible during greedy")
+    assignment = {i: graph.right_label(r) for i, r in enumerate(match_left)}
+    return Schedule(instance=instance, assignment=assignment)
+
+
+def _candidate_idle_intervals(slots: List[int]) -> List[Tuple[int, int]]:
+    """Candidate maximal idle intervals: contiguous sub-ranges of the slot list.
+
+    Only intervals whose endpoints are existing slots matter, and removing an
+    interval that is not flanked by retained slots can never create a gap, so
+    it suffices to consider contiguous runs of currently available slots that
+    are strictly inside the horizon.  Sorted by decreasing length.
+    """
+    candidates: List[Tuple[int, int]] = []
+    n = len(slots)
+    for i in range(n):
+        for j in range(i, n):
+            lo, hi = slots[i], slots[j]
+            candidates.append((lo, hi))
+    candidates.sort(key=lambda iv: (-(iv[1] - iv[0] + 1), iv[0]))
+    return candidates
+
+
+def greedy_gap_schedule(instance: OneIntervalInstance) -> GreedyGapResult:
+    """Run the [FHKN06] greedy 3-approximation.
+
+    Returns the schedule built on the surviving slots together with the list
+    of idle intervals the greedy carved out (largest first).  When the
+    instance is infeasible the result has ``feasible=False``.
+    """
+    n = instance.num_jobs
+    if n == 0:
+        return GreedyGapResult(
+            feasible=True,
+            num_gaps=0,
+            schedule=Schedule(instance=instance, assignment={}),
+            removed_intervals=[],
+        )
+
+    lo, hi = instance.horizon
+    slots = list(range(lo, hi + 1))
+    if not _feasible_with_slots(instance, slots):
+        return GreedyGapResult(
+            feasible=False, num_gaps=None, schedule=None, removed_intervals=[]
+        )
+
+    removed: List[Tuple[int, int]] = []
+    while True:
+        slot_list = sorted(slots)
+        best: Optional[Tuple[int, int]] = None
+        for interval in _candidate_idle_intervals(slot_list):
+            a, b = interval
+            remaining = [t for t in slot_list if t < a or t > b]
+            if len(remaining) < n:
+                continue
+            if _feasible_with_slots(instance, remaining):
+                best = interval
+                break
+        if best is None:
+            break
+        a, b = best
+        removed.append(best)
+        slots = [t for t in slots if t < a or t > b]
+
+    schedule = _schedule_with_slots(instance, slots)
+    schedule.validate()
+    return GreedyGapResult(
+        feasible=True,
+        num_gaps=schedule.num_gaps(),
+        schedule=schedule,
+        removed_intervals=removed,
+    )

@@ -1,0 +1,362 @@
+"""Job and instance data model.
+
+The paper considers unit-length jobs in three settings:
+
+* **One-interval** jobs (Section 2 and the Baptiste substrate): each job has
+  an integer release time ``release`` and an integer deadline ``deadline``
+  and may execute at any integer time ``t`` with ``release <= t <= deadline``.
+* **Multi-interval** jobs (Sections 3-6): each job has an explicit set of
+  integer times at which it may execute.
+* **Multiprocessor** instances (Section 2): one-interval jobs plus a number
+  of identical processors ``p``; each (processor, time) slot holds at most
+  one job.
+
+All classes in this module are immutable value objects.  They deliberately
+store *sorted tuples* rather than sets so that instances hash, compare and
+repr deterministically, which matters for memoised dynamic programs and for
+reproducible experiment output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from .exceptions import InvalidInstanceError
+
+__all__ = [
+    "Job",
+    "MultiIntervalJob",
+    "OneIntervalInstance",
+    "MultiprocessorInstance",
+    "MultiIntervalInstance",
+    "jobs_from_pairs",
+]
+
+
+@dataclass(frozen=True, order=True)
+class Job:
+    """A unit-length job with a single contiguous execution window.
+
+    Parameters
+    ----------
+    release:
+        Earliest integer time at which the job may run.
+    deadline:
+        Latest integer time at which the job may run (inclusive).
+    name:
+        Optional human-readable identifier used in schedules and reports.
+    """
+
+    release: int
+    deadline: int
+    name: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.release, int) or not isinstance(self.deadline, int):
+            raise InvalidInstanceError(
+                f"job release/deadline must be integers, got "
+                f"({self.release!r}, {self.deadline!r})"
+            )
+        if self.deadline < self.release:
+            raise InvalidInstanceError(
+                f"job deadline {self.deadline} precedes release {self.release}"
+            )
+
+    @property
+    def window(self) -> Tuple[int, int]:
+        """The inclusive ``(release, deadline)`` window."""
+        return (self.release, self.deadline)
+
+    @property
+    def window_length(self) -> int:
+        """Number of allowed time slots (``deadline - release + 1``)."""
+        return self.deadline - self.release + 1
+
+    def allowed_times(self) -> range:
+        """Iterate over the allowed integer times of this job."""
+        return range(self.release, self.deadline + 1)
+
+    def can_run_at(self, time: int) -> bool:
+        """Return ``True`` when the job may execute at integer ``time``."""
+        return self.release <= time <= self.deadline
+
+    def to_multi_interval(self) -> "MultiIntervalJob":
+        """View this job as a multi-interval job with one contiguous interval."""
+        return MultiIntervalJob(times=tuple(self.allowed_times()), name=self.name)
+
+
+@dataclass(frozen=True)
+class MultiIntervalJob:
+    """A unit-length job that may execute at an arbitrary set of times.
+
+    ``times`` is stored as a sorted, de-duplicated tuple of integers.  The
+    "intervals" of the paper are recovered by :meth:`intervals`, which groups
+    consecutive integers into maximal runs.
+    """
+
+    times: Tuple[int, ...]
+    name: str = field(default="", compare=False)
+
+    def __init__(self, times: Iterable[int], name: str = "") -> None:
+        normalized = tuple(sorted(set(int(t) for t in times)))
+        if not normalized:
+            raise InvalidInstanceError("multi-interval job needs at least one allowed time")
+        object.__setattr__(self, "times", normalized)
+        object.__setattr__(self, "name", name)
+
+    @property
+    def num_times(self) -> int:
+        """Number of allowed time slots."""
+        return len(self.times)
+
+    def can_run_at(self, time: int) -> bool:
+        """Return ``True`` when the job may execute at integer ``time``."""
+        return time in self._time_set()
+
+    def _time_set(self) -> frozenset:
+        # A tiny cached set; recomputing is cheap but this is on hot paths of
+        # the matching-based solvers.
+        cached = getattr(self, "_cached_time_set", None)
+        if cached is None:
+            cached = frozenset(self.times)
+            object.__setattr__(self, "_cached_time_set", cached)
+        return cached
+
+    def intervals(self) -> List[Tuple[int, int]]:
+        """Return maximal runs of consecutive allowed times as ``(lo, hi)`` pairs."""
+        runs: List[Tuple[int, int]] = []
+        start = prev = self.times[0]
+        for t in self.times[1:]:
+            if t == prev + 1:
+                prev = t
+                continue
+            runs.append((start, prev))
+            start = prev = t
+        runs.append((start, prev))
+        return runs
+
+    @property
+    def num_intervals(self) -> int:
+        """Number of maximal contiguous intervals of allowed times."""
+        return len(self.intervals())
+
+    @classmethod
+    def from_intervals(
+        cls, intervals: Iterable[Tuple[int, int]], name: str = ""
+    ) -> "MultiIntervalJob":
+        """Build a job from inclusive ``(lo, hi)`` interval pairs."""
+        times: List[int] = []
+        for lo, hi in intervals:
+            if hi < lo:
+                raise InvalidInstanceError(f"interval ({lo}, {hi}) is empty")
+            times.extend(range(lo, hi + 1))
+        return cls(times=times, name=name)
+
+
+def jobs_from_pairs(pairs: Iterable[Tuple[int, int]]) -> List[Job]:
+    """Convenience constructor: build :class:`Job` objects from (release, deadline) pairs."""
+    return [Job(release=r, deadline=d, name=f"j{i}") for i, (r, d) in enumerate(pairs)]
+
+
+class _JobCollectionMixin:
+    """Shared helpers for instances that carry a tuple of one-interval jobs."""
+
+    jobs: Tuple[Job, ...]
+
+    @property
+    def num_jobs(self) -> int:
+        """Number of jobs in the instance."""
+        return len(self.jobs)
+
+    @property
+    def releases(self) -> Tuple[int, ...]:
+        """Release times in job order."""
+        return tuple(job.release for job in self.jobs)
+
+    @property
+    def deadlines(self) -> Tuple[int, ...]:
+        """Deadlines in job order."""
+        return tuple(job.deadline for job in self.jobs)
+
+    @property
+    def horizon(self) -> Tuple[int, int]:
+        """The inclusive ``(min release, max deadline)`` time horizon."""
+        if not self.jobs:
+            return (0, 0)
+        return (min(self.releases), max(self.deadlines))
+
+    def jobs_sorted_by_deadline(self) -> List[int]:
+        """Return job indices sorted by (deadline, release, index)."""
+        return sorted(
+            range(len(self.jobs)),
+            key=lambda i: (self.jobs[i].deadline, self.jobs[i].release, i),
+        )
+
+    def __iter__(self) -> Iterator[Job]:
+        return iter(self.jobs)
+
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+
+@dataclass(frozen=True)
+class OneIntervalInstance(_JobCollectionMixin):
+    """A single-processor instance of one-interval unit jobs.
+
+    This is the classical setting of Baptiste [Bap06]: schedule every job at
+    a distinct integer time inside its window on one machine, minimizing the
+    number of gaps (or the power cost for the power variant).
+    """
+
+    jobs: Tuple[Job, ...]
+
+    def __init__(self, jobs: Iterable[Job]) -> None:
+        object.__setattr__(self, "jobs", tuple(jobs))
+        for job in self.jobs:
+            if not isinstance(job, Job):
+                raise InvalidInstanceError(f"expected Job, got {type(job)!r}")
+
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[Tuple[int, int]]) -> "OneIntervalInstance":
+        """Build an instance from ``(release, deadline)`` pairs."""
+        return cls(jobs_from_pairs(pairs))
+
+    def to_multiprocessor(self, num_processors: int = 1) -> "MultiprocessorInstance":
+        """Lift this instance to a multiprocessor instance with ``num_processors`` machines."""
+        return MultiprocessorInstance(jobs=self.jobs, num_processors=num_processors)
+
+    def to_multi_interval(self) -> "MultiIntervalInstance":
+        """View the instance as a multi-interval instance (one interval per job)."""
+        return MultiIntervalInstance(jobs=[job.to_multi_interval() for job in self.jobs])
+
+
+@dataclass(frozen=True)
+class MultiprocessorInstance(_JobCollectionMixin):
+    """One-interval unit jobs on ``num_processors`` identical processors.
+
+    This is the input of Theorem 1 (gap scheduling) and Theorem 2 (power
+    minimization) of the paper.
+    """
+
+    jobs: Tuple[Job, ...]
+    num_processors: int
+
+    def __init__(self, jobs: Iterable[Job], num_processors: int) -> None:
+        object.__setattr__(self, "jobs", tuple(jobs))
+        object.__setattr__(self, "num_processors", int(num_processors))
+        if self.num_processors < 1:
+            raise InvalidInstanceError(
+                f"need at least one processor, got {self.num_processors}"
+            )
+        for job in self.jobs:
+            if not isinstance(job, Job):
+                raise InvalidInstanceError(f"expected Job, got {type(job)!r}")
+
+    @classmethod
+    def from_pairs(
+        cls, pairs: Iterable[Tuple[int, int]], num_processors: int
+    ) -> "MultiprocessorInstance":
+        """Build an instance from ``(release, deadline)`` pairs."""
+        return cls(jobs_from_pairs(pairs), num_processors=num_processors)
+
+    def single_processor_view(self) -> OneIntervalInstance:
+        """Drop the processor count (useful when ``num_processors == 1``)."""
+        return OneIntervalInstance(self.jobs)
+
+
+@dataclass(frozen=True)
+class MultiIntervalInstance:
+    """A single-processor instance of multi-interval unit jobs.
+
+    This is the input of Sections 3-6 of the paper: each job carries an
+    explicit set of allowed times; a schedule assigns each job a distinct
+    allowed time; a gap is a finite maximal interval of idle time.
+    """
+
+    jobs: Tuple[MultiIntervalJob, ...]
+
+    def __init__(self, jobs: Iterable[MultiIntervalJob]) -> None:
+        normalized: List[MultiIntervalJob] = []
+        for job in jobs:
+            if isinstance(job, Job):
+                job = job.to_multi_interval()
+            if not isinstance(job, MultiIntervalJob):
+                raise InvalidInstanceError(
+                    f"expected MultiIntervalJob, got {type(job)!r}"
+                )
+            normalized.append(job)
+        object.__setattr__(self, "jobs", tuple(normalized))
+
+    @classmethod
+    def from_time_lists(
+        cls, time_lists: Iterable[Iterable[int]]
+    ) -> "MultiIntervalInstance":
+        """Build an instance from an iterable of allowed-time iterables."""
+        return cls(
+            [
+                MultiIntervalJob(times=times, name=f"j{i}")
+                for i, times in enumerate(time_lists)
+            ]
+        )
+
+    @property
+    def num_jobs(self) -> int:
+        """Number of jobs in the instance."""
+        return len(self.jobs)
+
+    @property
+    def all_times(self) -> Tuple[int, ...]:
+        """Sorted union of all allowed times across jobs."""
+        union = set()
+        for job in self.jobs:
+            union.update(job.times)
+        return tuple(sorted(union))
+
+    @property
+    def horizon(self) -> Tuple[int, int]:
+        """The inclusive ``(earliest allowed time, latest allowed time)`` horizon."""
+        times = self.all_times
+        if not times:
+            return (0, 0)
+        return (times[0], times[-1])
+
+    def max_intervals_per_job(self) -> int:
+        """Maximum number of maximal contiguous intervals over all jobs."""
+        if not self.jobs:
+            return 0
+        return max(job.num_intervals for job in self.jobs)
+
+    def is_unit_interval(self) -> bool:
+        """True when every maximal interval of every job has length one."""
+        return all(
+            all(hi == lo for lo, hi in job.intervals()) for job in self.jobs
+        )
+
+    def is_disjoint_unit(self) -> bool:
+        """True when the instance is a *disjoint-unit* instance (Section 5.3).
+
+        In a disjoint-unit instance the allowed-time sets of distinct jobs are
+        pairwise disjoint (each time belongs to at most one job).
+        """
+        seen: Dict[int, int] = {}
+        for idx, job in enumerate(self.jobs):
+            for t in job.times:
+                if t in seen and seen[t] != idx:
+                    return False
+                seen[t] = idx
+        return True
+
+    def allowed_map(self) -> Dict[int, List[int]]:
+        """Map each time to the list of job indices that may run there."""
+        mapping: Dict[int, List[int]] = {}
+        for idx, job in enumerate(self.jobs):
+            for t in job.times:
+                mapping.setdefault(t, []).append(idx)
+        return mapping
+
+    def __iter__(self) -> Iterator[MultiIntervalJob]:
+        return iter(self.jobs)
+
+    def __len__(self) -> int:
+        return len(self.jobs)

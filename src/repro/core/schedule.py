@@ -1,0 +1,353 @@
+"""Schedule objects and gap / power accounting.
+
+The paper's objectives are defined on *where* jobs run, not on which job runs
+where, so the accounting helpers in this module work on the set of busy
+(processor, time) slots:
+
+* A **span** on a processor is a maximal run of consecutive busy time slots.
+* A **gap** on a processor is a finite maximal run of idle time slots, i.e.
+  an idle run bounded on both sides by busy slots of that processor.  The
+  number of gaps on a processor equals ``max(0, spans - 1)``.
+* The **power cost** of a single-processor schedule with wake-up cost
+  ``alpha`` is ``busy_time + alpha`` for the first wake-up plus, for every
+  gap of length ``g``, ``min(g, alpha)`` (the processor either stays active
+  through the gap, paying ``g`` time units, or sleeps and pays ``alpha`` to
+  wake up).  Multiprocessor power cost sums this per processor.
+
+These definitions follow Sections 2 and 3 of the paper exactly; the
+``PowerModel`` in :mod:`repro.power.model` re-derives the same numbers by
+explicit state-machine simulation, which the test-suite uses as a
+cross-check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from .exceptions import InvalidScheduleError
+from .jobs import (
+    Job,
+    MultiIntervalInstance,
+    MultiIntervalJob,
+    MultiprocessorInstance,
+    OneIntervalInstance,
+)
+
+__all__ = [
+    "Schedule",
+    "MultiprocessorSchedule",
+    "gaps_of_busy_times",
+    "spans_of_busy_times",
+    "gap_lengths_of_busy_times",
+    "power_cost_of_busy_times",
+    "occupancy_profile",
+    "staircase_normalize",
+]
+
+InstanceLike = Union[OneIntervalInstance, MultiIntervalInstance, MultiprocessorInstance]
+
+
+def spans_of_busy_times(busy_times: Iterable[int]) -> List[Tuple[int, int]]:
+    """Group busy integer times into maximal runs (spans).
+
+    Returns a list of inclusive ``(start, end)`` pairs sorted by start time.
+    """
+    times = sorted(set(busy_times))
+    spans: List[Tuple[int, int]] = []
+    if not times:
+        return spans
+    start = prev = times[0]
+    for t in times[1:]:
+        if t == prev + 1:
+            prev = t
+            continue
+        spans.append((start, prev))
+        start = prev = t
+    spans.append((start, prev))
+    return spans
+
+
+def gap_lengths_of_busy_times(busy_times: Iterable[int]) -> List[int]:
+    """Lengths of the finite maximal idle intervals between busy times."""
+    spans = spans_of_busy_times(busy_times)
+    lengths: List[int] = []
+    for (s0, e0), (s1, _e1) in zip(spans, spans[1:]):
+        lengths.append(s1 - e0 - 1)
+    return lengths
+
+
+def gaps_of_busy_times(busy_times: Iterable[int]) -> int:
+    """Number of gaps (finite maximal idle intervals) of a busy-time set."""
+    return len(gap_lengths_of_busy_times(busy_times))
+
+
+def power_cost_of_busy_times(busy_times: Iterable[int], alpha: float) -> float:
+    """Minimum power cost of executing jobs at ``busy_times`` on one processor.
+
+    The processor starts asleep.  It pays ``alpha`` per transition to the
+    active state, one unit of energy per active time unit, and may stay
+    active through a gap when that is cheaper than sleeping.  An empty busy
+    set costs zero.
+    """
+    times = sorted(set(busy_times))
+    if not times:
+        return 0.0
+    cost = float(len(times)) + float(alpha)  # execution time + first wake-up
+    for gap in gap_lengths_of_busy_times(times):
+        cost += min(float(gap), float(alpha))
+    return cost
+
+
+def occupancy_profile(slots: Iterable[Tuple[int, int]]) -> Dict[int, int]:
+    """Number of busy processors per time column for (processor, time) slots."""
+    profile: Dict[int, int] = {}
+    for _proc, t in slots:
+        profile[t] = profile.get(t, 0) + 1
+    return profile
+
+
+def staircase_normalize(
+    assignment: Mapping[int, Tuple[int, int]]
+) -> Dict[int, Tuple[int, int]]:
+    """Re-stack jobs so that, at each time, the busy processors form a prefix.
+
+    ``assignment`` maps job index -> (processor, time).  By Lemma 1 of the
+    paper this transformation never increases the number of gaps; it is used
+    to canonicalize solver output and by the experiment harness.
+    """
+    by_time: Dict[int, List[int]] = {}
+    for job_idx, (_proc, t) in assignment.items():
+        by_time.setdefault(t, []).append(job_idx)
+    result: Dict[int, Tuple[int, int]] = {}
+    for t, job_indices in by_time.items():
+        for level, job_idx in enumerate(sorted(job_indices), start=1):
+            result[job_idx] = (level, t)
+    return result
+
+
+@dataclass
+class Schedule:
+    """A single-processor schedule: a map from job index to execution time.
+
+    The class is instance-aware so that :meth:`validate` can check release
+    times, deadlines and allowed-time sets, and so that reports can show job
+    names.  All accounting helpers ignore the instance and work purely on the
+    set of busy times, matching the paper's definitions.
+    """
+
+    instance: Union[OneIntervalInstance, MultiIntervalInstance]
+    assignment: Dict[int, int]
+
+    def __post_init__(self) -> None:
+        self.assignment = dict(self.assignment)
+
+    # -- structural accessors -------------------------------------------------
+    @property
+    def scheduled_jobs(self) -> List[int]:
+        """Indices of scheduled jobs in increasing order."""
+        return sorted(self.assignment)
+
+    @property
+    def num_scheduled(self) -> int:
+        """Number of scheduled jobs."""
+        return len(self.assignment)
+
+    def busy_times(self) -> List[int]:
+        """Sorted list of times at which a job executes."""
+        return sorted(self.assignment.values())
+
+    def is_complete(self) -> bool:
+        """True when every job of the instance is scheduled."""
+        return len(self.assignment) == len(self.instance.jobs)
+
+    # -- objective values ------------------------------------------------------
+    def spans(self) -> List[Tuple[int, int]]:
+        """Maximal busy runs as inclusive (start, end) pairs."""
+        return spans_of_busy_times(self.busy_times())
+
+    def num_spans(self) -> int:
+        """Number of maximal busy runs."""
+        return len(self.spans())
+
+    def num_gaps(self) -> int:
+        """Number of gaps (finite maximal idle intervals)."""
+        return gaps_of_busy_times(self.busy_times())
+
+    def gap_lengths(self) -> List[int]:
+        """Lengths of all gaps in time order."""
+        return gap_lengths_of_busy_times(self.busy_times())
+
+    def power_cost(self, alpha: float) -> float:
+        """Power cost with wake-up cost ``alpha`` (see module docstring)."""
+        return power_cost_of_busy_times(self.busy_times(), alpha)
+
+    # -- validation ------------------------------------------------------------
+    def validate(self, require_complete: bool = True) -> None:
+        """Raise :class:`InvalidScheduleError` if the schedule is inconsistent.
+
+        Checks that every scheduled job exists, runs at an allowed time, and
+        that no two jobs share a time slot.  When ``require_complete`` is
+        true, also checks that every job of the instance is scheduled.
+        """
+        jobs = self.instance.jobs
+        seen_times: Dict[int, int] = {}
+        for job_idx, t in self.assignment.items():
+            if not 0 <= job_idx < len(jobs):
+                raise InvalidScheduleError(f"unknown job index {job_idx}")
+            job = jobs[job_idx]
+            if not job.can_run_at(t):
+                raise InvalidScheduleError(
+                    f"job {job_idx} ({job.name or 'unnamed'}) cannot run at time {t}"
+                )
+            if t in seen_times:
+                raise InvalidScheduleError(
+                    f"time {t} double-booked by jobs {seen_times[t]} and {job_idx}"
+                )
+            seen_times[t] = job_idx
+        if require_complete and not self.is_complete():
+            missing = sorted(set(range(len(jobs))) - set(self.assignment))
+            raise InvalidScheduleError(f"jobs {missing} are not scheduled")
+
+    def is_valid(self, require_complete: bool = True) -> bool:
+        """Boolean wrapper around :meth:`validate`."""
+        try:
+            self.validate(require_complete=require_complete)
+        except InvalidScheduleError:
+            return False
+        return True
+
+    # -- conversions -----------------------------------------------------------
+    def as_table(self) -> List[Tuple[int, str, int]]:
+        """Rows of ``(job index, job name, time)`` sorted by time, for reports."""
+        rows = []
+        for job_idx in self.scheduled_jobs:
+            job = self.instance.jobs[job_idx]
+            name = getattr(job, "name", "") or f"j{job_idx}"
+            rows.append((job_idx, name, self.assignment[job_idx]))
+        rows.sort(key=lambda row: row[2])
+        return rows
+
+
+@dataclass
+class MultiprocessorSchedule:
+    """A multiprocessor schedule: job index -> (processor, time).
+
+    Processors are numbered ``1..p``.  Gap and power accounting follow the
+    multiprocessor definitions of Section 2: gaps are counted per processor
+    and summed; power is summed per processor with wake-up cost ``alpha``.
+    """
+
+    instance: MultiprocessorInstance
+    assignment: Dict[int, Tuple[int, int]]
+
+    def __post_init__(self) -> None:
+        self.assignment = {k: (int(p), int(t)) for k, (p, t) in self.assignment.items()}
+
+    # -- structural accessors -------------------------------------------------
+    @property
+    def num_scheduled(self) -> int:
+        """Number of scheduled jobs."""
+        return len(self.assignment)
+
+    def is_complete(self) -> bool:
+        """True when every job of the instance is scheduled."""
+        return len(self.assignment) == len(self.instance.jobs)
+
+    def busy_times_by_processor(self) -> Dict[int, List[int]]:
+        """Map each processor to the sorted list of its busy times."""
+        by_proc: Dict[int, List[int]] = {}
+        for _job, (proc, t) in self.assignment.items():
+            by_proc.setdefault(proc, []).append(t)
+        return {proc: sorted(times) for proc, times in by_proc.items()}
+
+    def occupancy_profile(self) -> Dict[int, int]:
+        """Number of busy processors per time column."""
+        return occupancy_profile(self.assignment.values())
+
+    def used_processors(self) -> int:
+        """Number of processors that execute at least one job."""
+        return len(self.busy_times_by_processor())
+
+    # -- objective values ------------------------------------------------------
+    def num_gaps(self) -> int:
+        """Total number of gaps summed over processors (Theorem 1 objective)."""
+        return sum(
+            gaps_of_busy_times(times)
+            for times in self.busy_times_by_processor().values()
+        )
+
+    def gaps_by_processor(self) -> Dict[int, int]:
+        """Per-processor gap counts."""
+        return {
+            proc: gaps_of_busy_times(times)
+            for proc, times in self.busy_times_by_processor().items()
+        }
+
+    def power_cost(self, alpha: float) -> float:
+        """Total power cost summed over processors (Theorem 2 objective)."""
+        return sum(
+            power_cost_of_busy_times(times, alpha)
+            for times in self.busy_times_by_processor().values()
+        )
+
+    # -- normalization ---------------------------------------------------------
+    def staircase(self) -> "MultiprocessorSchedule":
+        """Return the Lemma-1 normalization of this schedule.
+
+        Jobs running at the same time are re-stacked onto the lowest-numbered
+        processors.  The result never has more gaps than the original
+        schedule (Lemma 1) and is the canonical form produced by the exact
+        solvers.
+        """
+        return MultiprocessorSchedule(
+            instance=self.instance,
+            assignment=staircase_normalize(self.assignment),
+        )
+
+    # -- validation ------------------------------------------------------------
+    def validate(self, require_complete: bool = True) -> None:
+        """Raise :class:`InvalidScheduleError` if the schedule is inconsistent."""
+        jobs = self.instance.jobs
+        p = self.instance.num_processors
+        seen_slots: Dict[Tuple[int, int], int] = {}
+        for job_idx, (proc, t) in self.assignment.items():
+            if not 0 <= job_idx < len(jobs):
+                raise InvalidScheduleError(f"unknown job index {job_idx}")
+            if not 1 <= proc <= p:
+                raise InvalidScheduleError(
+                    f"job {job_idx} assigned to processor {proc}, but only {p} exist"
+                )
+            job = jobs[job_idx]
+            if not job.can_run_at(t):
+                raise InvalidScheduleError(
+                    f"job {job_idx} cannot run at time {t} (window {job.window})"
+                )
+            slot = (proc, t)
+            if slot in seen_slots:
+                raise InvalidScheduleError(
+                    f"slot {slot} double-booked by jobs {seen_slots[slot]} and {job_idx}"
+                )
+            seen_slots[slot] = job_idx
+        if require_complete and not self.is_complete():
+            missing = sorted(set(range(len(jobs))) - set(self.assignment))
+            raise InvalidScheduleError(f"jobs {missing} are not scheduled")
+
+    def is_valid(self, require_complete: bool = True) -> bool:
+        """Boolean wrapper around :meth:`validate`."""
+        try:
+            self.validate(require_complete=require_complete)
+        except InvalidScheduleError:
+            return False
+        return True
+
+    # -- conversions -----------------------------------------------------------
+    def as_table(self) -> List[Tuple[int, str, int, int]]:
+        """Rows of ``(job index, job name, processor, time)`` sorted by time."""
+        rows = []
+        for job_idx in sorted(self.assignment):
+            job = self.instance.jobs[job_idx]
+            proc, t = self.assignment[job_idx]
+            rows.append((job_idx, job.name or f"j{job_idx}", proc, t))
+        rows.sort(key=lambda row: (row[3], row[2]))
+        return rows

@@ -1,0 +1,166 @@
+"""Minimum-restart / throughput maximization (Theorem 11).
+
+Given multi-interval unit jobs and a budget ``k`` on the number of gaps
+("restarts"), maximise the number of scheduled jobs.  Theorem 11 of the
+paper gives a greedy ``O(sqrt(n))``-approximation:
+
+    repeat ``k`` times: find the largest time interval ``[a, b]`` such that
+    ``b - a + 1`` still-unscheduled jobs can completely fill it (checked by
+    maximum matching), and schedule those jobs in it.
+
+Each selected *working interval* is a contiguous busy block, so ``k`` blocks
+yield at most ``k`` gaps when, following the convention of Section 5, one of
+the two infinite idle intervals is also counted as a gap (and at most
+``k - 1`` internal gaps otherwise).  The solver reports both counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..matching import BipartiteGraph, hopcroft_karp
+from .exceptions import InvalidInstanceError
+from .jobs import MultiIntervalInstance
+from .schedule import Schedule
+
+__all__ = ["ThroughputResult", "WorkingInterval", "greedy_throughput_schedule"]
+
+
+@dataclass(frozen=True)
+class WorkingInterval:
+    """A contiguous block of time completely filled by jobs."""
+
+    start: int
+    end: int
+    jobs: Tuple[int, ...]
+
+    @property
+    def length(self) -> int:
+        """Number of time slots (= number of jobs) in the block."""
+        return self.end - self.start + 1
+
+
+@dataclass
+class ThroughputResult:
+    """Result of the greedy throughput algorithm."""
+
+    schedule: Schedule
+    working_intervals: List[WorkingInterval]
+    max_gaps: int
+
+    @property
+    def num_scheduled(self) -> int:
+        """Number of scheduled jobs."""
+        return self.schedule.num_scheduled
+
+    @property
+    def num_internal_gaps(self) -> int:
+        """Gaps strictly between busy spans (finite idle intervals)."""
+        return self.schedule.num_gaps()
+
+
+def _saturating_fill(
+    instance: MultiIntervalInstance,
+    available: Sequence[int],
+    start: int,
+    end: int,
+) -> Optional[Dict[int, int]]:
+    """Try to fill every slot of [start, end] with distinct available jobs.
+
+    Returns a job -> time assignment covering every slot, or ``None`` when
+    the interval cannot be completely filled.
+    """
+    slots = list(range(start, end + 1))
+    slot_ids = {t: i for i, t in enumerate(slots)}
+    graph = BipartiteGraph(n_left=len(available))
+    for local_idx, job_idx in enumerate(available):
+        for t in instance.jobs[job_idx].times:
+            if start <= t <= end:
+                graph.add_edge(local_idx, t)
+    match_left, match_right = hopcroft_karp(graph)
+    matched_slots = {graph.right_label(rid) for rid in range(graph.n_right) if match_right[rid] != -1}
+    if len(matched_slots) < len(slots) or any(t not in matched_slots for t in slots):
+        return None
+    assignment: Dict[int, int] = {}
+    for local_idx, rid in enumerate(match_left):
+        if rid != -1:
+            t = graph.right_label(rid)
+            assignment[available[local_idx]] = t
+    # Keep only the jobs that landed inside the interval (all matched ones did).
+    return assignment
+
+
+def greedy_throughput_schedule(
+    instance: MultiIntervalInstance, max_gaps: int
+) -> ThroughputResult:
+    """Run the Theorem 11 greedy: ``max_gaps`` rounds of largest fillable interval.
+
+    Parameters
+    ----------
+    instance:
+        The multi-interval instance.
+    max_gaps:
+        The gap budget ``k``; the greedy performs ``k`` rounds.
+
+    Returns
+    -------
+    :class:`ThroughputResult` with the partial schedule (not all jobs need be
+    scheduled) and the chosen working intervals in selection order.
+    """
+    if max_gaps < 0:
+        raise InvalidInstanceError(f"max_gaps must be non-negative, got {max_gaps}")
+
+    unscheduled: Set[int] = set(range(instance.num_jobs))
+    assignment: Dict[int, int] = {}
+    working_intervals: List[WorkingInterval] = []
+    used_times: Set[int] = set()
+
+    for _round in range(max_gaps):
+        if not unscheduled:
+            break
+        available = sorted(unscheduled)
+        candidate_times = sorted(
+            {t for j in available for t in instance.jobs[j].times if t not in used_times}
+        )
+        if not candidate_times:
+            break
+        best_fill: Optional[Dict[int, int]] = None
+        best_interval: Optional[Tuple[int, int]] = None
+        # Enumerate candidate intervals by decreasing length; endpoints must be
+        # allowed times of some available job, otherwise the border slot could
+        # never be filled.
+        intervals = [
+            (a, b)
+            for a in candidate_times
+            for b in candidate_times
+            if b >= a and not any(a <= t <= b for t in used_times)
+        ]
+        intervals.sort(key=lambda ab: (-(ab[1] - ab[0] + 1), ab[0]))
+        for a, b in intervals:
+            if best_interval is not None and (b - a + 1) <= (
+                best_interval[1] - best_interval[0] + 1
+            ):
+                break
+            if b - a + 1 > len(available):
+                continue
+            fill = _saturating_fill(instance, available, a, b)
+            if fill is not None:
+                best_fill = fill
+                best_interval = (a, b)
+                break
+        if best_fill is None or best_interval is None:
+            break
+        a, b = best_interval
+        scheduled_jobs = tuple(sorted(best_fill))
+        working_intervals.append(WorkingInterval(start=a, end=b, jobs=scheduled_jobs))
+        for job_idx, t in best_fill.items():
+            assignment[job_idx] = t
+            used_times.add(t)
+            unscheduled.discard(job_idx)
+
+    schedule = Schedule(instance=instance, assignment=assignment)
+    schedule.validate(require_complete=False)
+    return ThroughputResult(
+        schedule=schedule, working_intervals=working_intervals, max_gaps=max_gaps
+    )

@@ -1,0 +1,37 @@
+"""Synthetic workload and instance generators.
+
+The paper has no datasets; every experiment in this reproduction runs on
+synthetic instances produced here.  Three families are provided:
+
+* :mod:`repro.generators.random_jobs` — uniformly random one-interval,
+  multiprocessor and multi-interval instances parameterised by horizon,
+  window length and interval count (used for solver validation and runtime
+  scaling).
+* :mod:`repro.generators.workloads` — structured workloads that mirror the
+  motivating applications of the paper's introduction: bursty server
+  request traces, periodic sensor duty cycles, and batch queues with slack.
+* :mod:`repro.generators.adversarial` — the online lower-bound family and
+  other worst-case constructions (re-exported from :mod:`repro.core.online`).
+"""
+
+from .random_jobs import (
+    random_multi_interval_instance,
+    random_multiprocessor_instance,
+    random_one_interval_instance,
+    random_set_cover_instance,
+)
+from .workloads import (
+    batch_queue_instance,
+    bursty_server_instance,
+    periodic_sensor_instance,
+)
+
+__all__ = [
+    "random_one_interval_instance",
+    "random_multiprocessor_instance",
+    "random_multi_interval_instance",
+    "random_set_cover_instance",
+    "bursty_server_instance",
+    "periodic_sensor_instance",
+    "batch_queue_instance",
+]

@@ -1,0 +1,19 @@
+"""Adversarial / worst-case instance families.
+
+Currently these are thin re-exports of the constructions defined next to the
+online baselines in :mod:`repro.core.online`, plus the set-cover-shaped
+scheduling gadgets from :mod:`repro.reductions`, gathered here so that the
+experiment harness has a single place to import "hard" instances from.
+"""
+
+from ..core.online import (
+    multi_interval_online_dilemma,
+    online_lower_bound_alternative,
+    online_lower_bound_instance,
+)
+
+__all__ = [
+    "online_lower_bound_instance",
+    "online_lower_bound_alternative",
+    "multi_interval_online_dilemma",
+]

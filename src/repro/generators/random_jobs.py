@@ -1,0 +1,163 @@
+"""Uniformly random instance generators.
+
+All generators take an explicit :class:`random.Random` seed argument so that
+experiments are reproducible run-to-run; none of them touch the global RNG.
+When ``ensure_feasible`` is requested the generator rejects and resamples
+until the instance admits a feasible schedule (checked by matching), which
+keeps the distribution simple and the code honest about what it produces.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.exceptions import InvalidInstanceError
+from ..core.feasibility import is_feasible, is_feasible_multiproc
+from ..core.jobs import (
+    Job,
+    MultiIntervalInstance,
+    MultiIntervalJob,
+    MultiprocessorInstance,
+    OneIntervalInstance,
+)
+from ..setcover import SetCoverInstance
+
+__all__ = [
+    "random_one_interval_instance",
+    "random_multiprocessor_instance",
+    "random_multi_interval_instance",
+    "random_set_cover_instance",
+]
+
+_MAX_RESAMPLES = 200
+
+
+def _rng(seed: Optional[int]) -> random.Random:
+    return random.Random(seed)
+
+
+def random_one_interval_instance(
+    num_jobs: int,
+    horizon: int,
+    max_window: Optional[int] = None,
+    seed: Optional[int] = None,
+    ensure_feasible: bool = True,
+) -> OneIntervalInstance:
+    """Random one-interval instance with ``num_jobs`` jobs on ``[0, horizon)``.
+
+    Each job's release is uniform in the horizon and its window length is
+    uniform in ``[1, max_window]`` (default: ``horizon``), clipped to the
+    horizon.
+    """
+    if num_jobs < 0 or horizon < 1:
+        raise InvalidInstanceError("num_jobs must be >= 0 and horizon >= 1")
+    if max_window is None:
+        max_window = horizon
+    rng = _rng(seed)
+    for _attempt in range(_MAX_RESAMPLES):
+        jobs: List[Job] = []
+        for i in range(num_jobs):
+            release = rng.randrange(horizon)
+            length = rng.randint(1, max(1, max_window))
+            deadline = min(horizon - 1, release + length - 1)
+            jobs.append(Job(release=release, deadline=deadline, name=f"j{i}"))
+        instance = OneIntervalInstance(jobs)
+        if not ensure_feasible or is_feasible(instance):
+            return instance
+    raise InvalidInstanceError(
+        "could not generate a feasible instance; relax the parameters "
+        f"(num_jobs={num_jobs}, horizon={horizon}, max_window={max_window})"
+    )
+
+
+def random_multiprocessor_instance(
+    num_jobs: int,
+    num_processors: int,
+    horizon: int,
+    max_window: Optional[int] = None,
+    seed: Optional[int] = None,
+    ensure_feasible: bool = True,
+) -> MultiprocessorInstance:
+    """Random multiprocessor instance (Theorem 1/2 input)."""
+    if num_processors < 1:
+        raise InvalidInstanceError("num_processors must be >= 1")
+    if max_window is None:
+        max_window = horizon
+    rng = _rng(seed)
+    for _attempt in range(_MAX_RESAMPLES):
+        jobs: List[Job] = []
+        for i in range(num_jobs):
+            release = rng.randrange(horizon)
+            length = rng.randint(1, max(1, max_window))
+            deadline = min(horizon - 1, release + length - 1)
+            jobs.append(Job(release=release, deadline=deadline, name=f"j{i}"))
+        instance = MultiprocessorInstance(jobs=jobs, num_processors=num_processors)
+        if not ensure_feasible or is_feasible_multiproc(instance):
+            return instance
+    raise InvalidInstanceError(
+        "could not generate a feasible multiprocessor instance; relax the parameters"
+    )
+
+
+def random_multi_interval_instance(
+    num_jobs: int,
+    horizon: int,
+    intervals_per_job: int = 2,
+    interval_length: int = 2,
+    seed: Optional[int] = None,
+    ensure_feasible: bool = True,
+) -> MultiIntervalInstance:
+    """Random multi-interval instance (Sections 3-6 input).
+
+    Each job receives ``intervals_per_job`` intervals of ``interval_length``
+    consecutive slots at uniformly random positions (intervals of one job may
+    merge if they happen to overlap).
+    """
+    if num_jobs < 0 or horizon < 1 or intervals_per_job < 1 or interval_length < 1:
+        raise InvalidInstanceError("invalid multi-interval generator parameters")
+    rng = _rng(seed)
+    for _attempt in range(_MAX_RESAMPLES):
+        jobs: List[MultiIntervalJob] = []
+        for i in range(num_jobs):
+            times: List[int] = []
+            for _ in range(intervals_per_job):
+                start = rng.randrange(max(1, horizon - interval_length + 1))
+                times.extend(range(start, min(horizon, start + interval_length)))
+            jobs.append(MultiIntervalJob(times=times, name=f"j{i}"))
+        instance = MultiIntervalInstance(jobs=jobs)
+        if not ensure_feasible or is_feasible(instance):
+            return instance
+    raise InvalidInstanceError(
+        "could not generate a feasible multi-interval instance; relax the parameters"
+    )
+
+
+def random_set_cover_instance(
+    num_elements: int,
+    num_sets: int,
+    max_set_size: int,
+    seed: Optional[int] = None,
+) -> SetCoverInstance:
+    """Random coverable B-set-cover instance with B = ``max_set_size``.
+
+    Every element is first placed in at least one set (so the instance is
+    always coverable); remaining slots are filled uniformly.
+    """
+    if num_elements < 1 or num_sets < 1 or max_set_size < 1:
+        raise InvalidInstanceError("invalid set cover generator parameters")
+    rng = _rng(seed)
+    universe = list(range(num_elements))
+    sets: List[List[int]] = [[] for _ in range(num_sets)]
+    # Guarantee coverage by dealing every element to a random set.
+    for element in universe:
+        sets[rng.randrange(num_sets)].append(element)
+    # Top up sets with random extra elements.
+    for s in sets:
+        target = rng.randint(1, max_set_size)
+        while len(s) < target:
+            candidate = rng.randrange(num_elements)
+            if candidate not in s:
+                s.append(candidate)
+    non_empty = [s[:max_set_size] for s in sets if s]
+    return SetCoverInstance(universe=universe, sets=non_empty)

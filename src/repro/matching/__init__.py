@@ -1,0 +1,29 @@
+"""Bipartite matching substrate.
+
+The scheduling problems of the paper reduce feasibility questions to
+bipartite matching between jobs and time slots (or (processor, time) slots).
+This package provides:
+
+* :class:`~repro.matching.bipartite.BipartiteGraph` — a small adjacency-list
+  bipartite graph.
+* :func:`~repro.matching.hopcroft_karp.hopcroft_karp` — maximum-cardinality
+  matching in O(E sqrt(V)).
+* :func:`~repro.matching.augment.extend_matching` — incremental augmenting
+  path extension used by Lemma 3 of the paper.
+* :func:`~repro.matching.hall.hall_violation` — a Hall-condition certificate
+  of infeasibility for one-interval instances.
+"""
+
+from .bipartite import BipartiteGraph
+from .hopcroft_karp import hopcroft_karp, maximum_matching
+from .augment import augmenting_path, extend_matching
+from .hall import hall_violation
+
+__all__ = [
+    "BipartiteGraph",
+    "hopcroft_karp",
+    "maximum_matching",
+    "augmenting_path",
+    "extend_matching",
+    "hall_violation",
+]

@@ -1,0 +1,104 @@
+"""Incremental augmenting-path extension of partial matchings.
+
+Lemma 3 of the paper extends a partial schedule (a partial matching between
+jobs and time slots) one job at a time: whenever a feasible complete schedule
+exists, an augmenting path adds exactly one new execution time, increasing
+the number of gaps by at most one.  :func:`extend_matching` implements that
+procedure directly on a :class:`~repro.matching.bipartite.BipartiteGraph`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
+
+from .bipartite import BipartiteGraph
+
+__all__ = ["augmenting_path", "extend_matching"]
+
+
+def augmenting_path(
+    graph: BipartiteGraph,
+    match_left: List[int],
+    match_right: List[int],
+    start: int,
+) -> bool:
+    """Search for an augmenting path from unmatched left vertex ``start``.
+
+    On success the matching arrays are updated in place (the path is
+    "reversed") and ``True`` is returned; on failure the arrays are left
+    untouched and ``False`` is returned.  The search is an iterative DFS so
+    deep paths cannot exhaust the Python recursion limit.
+    """
+    if match_left[start] != -1:
+        raise ValueError(f"left vertex {start} is already matched")
+
+    # Iterative DFS over alternating paths.
+    parent_right: Dict[int, int] = {}  # right id -> left vertex we came from
+    visited_left: Set[int] = {start}
+    stack: List[int] = [start]
+    end_right: Optional[int] = None
+
+    while stack and end_right is None:
+        u = stack.pop()
+        for v in graph.neighbors(u):
+            if v in parent_right:
+                continue
+            parent_right[v] = u
+            w = match_right[v]
+            if w == -1:
+                end_right = v
+                break
+            if w not in visited_left:
+                visited_left.add(w)
+                stack.append(w)
+
+    if end_right is None:
+        return False
+
+    # Unwind the alternating path, flipping matched/unmatched edges.
+    v = end_right
+    while True:
+        u = parent_right[v]
+        previous = match_left[u]
+        match_left[u] = v
+        match_right[v] = u
+        if previous == -1 and u == start:
+            break
+        v = previous
+    return True
+
+
+def extend_matching(
+    graph: BipartiteGraph,
+    partial: Dict[int, Hashable],
+    targets: Optional[Sequence[int]] = None,
+) -> Dict[int, Hashable]:
+    """Extend a partial matching to cover ``targets`` (default: all left vertices).
+
+    ``partial`` maps left vertices to right labels that are already matched.
+    The function augments one left vertex at a time, mirroring Lemma 3 of the
+    paper: each successful augmentation adds exactly one newly used right
+    label (time slot).  Left vertices that cannot be matched are simply left
+    out of the result; callers that require completeness should compare the
+    result size with the target count.
+    """
+    match_left = [-1] * graph.n_left
+    match_right = [-1] * graph.n_right
+    for left, label in partial.items():
+        rid = graph.right_id_of(label)
+        if rid is None:
+            raise ValueError(f"label {label!r} of partial matching is not in the graph")
+        if match_right[rid] != -1:
+            raise ValueError(f"label {label!r} matched twice in partial matching")
+        if match_left[left] != -1:
+            raise ValueError(f"left vertex {left} matched twice in partial matching")
+        match_left[left] = rid
+        match_right[rid] = left
+
+    if targets is None:
+        targets = range(graph.n_left)
+    for left in targets:
+        if match_left[left] == -1:
+            augmenting_path(graph, match_left, match_right, left)
+
+    return graph.matching_to_labels(match_left)

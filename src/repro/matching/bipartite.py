@@ -1,0 +1,107 @@
+"""A small adjacency-list bipartite graph used by all matching routines.
+
+Left vertices are integers ``0..n_left-1`` (in this library: job indices) and
+right vertices are arbitrary hashable objects (time slots or
+(processor, time) pairs).  Right vertices are interned to contiguous integer
+ids so that the matching algorithms can run on plain lists.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = ["BipartiteGraph"]
+
+
+class BipartiteGraph:
+    """Adjacency-list bipartite graph with hashable right-side labels.
+
+    Parameters
+    ----------
+    n_left:
+        Number of left vertices, labelled ``0..n_left-1``.
+    """
+
+    def __init__(self, n_left: int) -> None:
+        if n_left < 0:
+            raise ValueError(f"n_left must be non-negative, got {n_left}")
+        self._n_left = n_left
+        self._adj: List[List[int]] = [[] for _ in range(n_left)]
+        self._right_ids: Dict[Hashable, int] = {}
+        self._right_labels: List[Hashable] = []
+
+    # -- construction ----------------------------------------------------------
+    def right_id(self, label: Hashable) -> int:
+        """Intern a right-side label, returning its integer id."""
+        rid = self._right_ids.get(label)
+        if rid is None:
+            rid = len(self._right_labels)
+            self._right_ids[label] = rid
+            self._right_labels.append(label)
+        return rid
+
+    def add_edge(self, left: int, right_label: Hashable) -> None:
+        """Add an edge between left vertex ``left`` and right label ``right_label``."""
+        if not 0 <= left < self._n_left:
+            raise ValueError(f"left vertex {left} out of range [0, {self._n_left})")
+        rid = self.right_id(right_label)
+        self._adj[left].append(rid)
+
+    def add_edges(self, left: int, right_labels: Iterable[Hashable]) -> None:
+        """Add edges from ``left`` to every label in ``right_labels``."""
+        for label in right_labels:
+            self.add_edge(left, label)
+
+    # -- accessors ---------------------------------------------------------------
+    @property
+    def n_left(self) -> int:
+        """Number of left vertices."""
+        return self._n_left
+
+    @property
+    def n_right(self) -> int:
+        """Number of (interned) right vertices."""
+        return len(self._right_labels)
+
+    @property
+    def num_edges(self) -> int:
+        """Total number of edges."""
+        return sum(len(neighbors) for neighbors in self._adj)
+
+    def neighbors(self, left: int) -> Sequence[int]:
+        """Right-vertex ids adjacent to ``left``."""
+        return self._adj[left]
+
+    def right_label(self, right_id: int) -> Hashable:
+        """The original label of right vertex ``right_id``."""
+        return self._right_labels[right_id]
+
+    def right_labels(self) -> List[Hashable]:
+        """All right labels in id order."""
+        return list(self._right_labels)
+
+    def has_right(self, label: Hashable) -> bool:
+        """True when ``label`` has been interned as a right vertex."""
+        return label in self._right_ids
+
+    def right_id_of(self, label: Hashable) -> Optional[int]:
+        """The id of ``label`` if present, else ``None`` (does not intern)."""
+        return self._right_ids.get(label)
+
+    # -- conversions --------------------------------------------------------------
+    def matching_to_labels(self, match_left: Sequence[int]) -> Dict[int, Hashable]:
+        """Convert a left-indexed matching array into a label dictionary.
+
+        ``match_left[i]`` is the right id matched to left vertex ``i`` or -1.
+        """
+        result: Dict[int, Hashable] = {}
+        for left, rid in enumerate(match_left):
+            if rid is not None and rid >= 0:
+                result[left] = self._right_labels[rid]
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BipartiteGraph(n_left={self.n_left}, n_right={self.n_right}, "
+            f"edges={self.num_edges})"
+        )

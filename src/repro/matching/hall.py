@@ -1,0 +1,53 @@
+"""Hall-condition certificates of scheduling infeasibility.
+
+For one-interval unit jobs on ``p`` identical processors, a feasible schedule
+exists if and only if, for every time window ``[x, y]``, the number of jobs
+whose execution window is contained in ``[x, y]`` does not exceed
+``p * (y - x + 1)``.  This is Hall's theorem specialised to interval
+bipartite graphs and gives a human-readable *certificate* of infeasibility
+(the overloaded window), which the solvers attach to
+:class:`~repro.core.exceptions.InfeasibleInstanceError` messages.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+__all__ = ["hall_violation"]
+
+
+def hall_violation(
+    windows: Sequence[Tuple[int, int]], num_processors: int = 1
+) -> Optional[Tuple[int, int, int, int]]:
+    """Find a violated Hall condition, if any.
+
+    Parameters
+    ----------
+    windows:
+        Inclusive ``(release, deadline)`` windows of unit jobs.
+    num_processors:
+        Number of identical processors.
+
+    Returns
+    -------
+    ``None`` when no window is overloaded, otherwise a tuple
+    ``(x, y, demand, capacity)`` where ``demand`` jobs must run inside
+    ``[x, y]`` but only ``capacity = num_processors * (y - x + 1)`` slots
+    exist.
+    """
+    if num_processors < 1:
+        raise ValueError(f"num_processors must be positive, got {num_processors}")
+    if not windows:
+        return None
+
+    releases = sorted({r for r, _d in windows})
+    deadlines = sorted({d for _r, d in windows})
+    for x in releases:
+        for y in deadlines:
+            if y < x:
+                continue
+            demand = sum(1 for r, d in windows if r >= x and d <= y)
+            capacity = num_processors * (y - x + 1)
+            if demand > capacity:
+                return (x, y, demand, capacity)
+    return None

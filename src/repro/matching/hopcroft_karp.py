@@ -1,0 +1,86 @@
+"""Hopcroft-Karp maximum-cardinality bipartite matching.
+
+The scheduling feasibility questions of the paper ("can all jobs be
+scheduled?", "can this interval be completely filled?") are answered by
+maximum matching between jobs and time slots.  Hopcroft-Karp runs in
+``O(E * sqrt(V))`` which is fast enough for every instance size used in the
+experiments; the greedy warm start below typically resolves most vertices
+before the first BFS phase.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from .bipartite import BipartiteGraph
+
+__all__ = ["hopcroft_karp", "maximum_matching"]
+
+_INF = float("inf")
+
+
+def hopcroft_karp(graph: BipartiteGraph) -> Tuple[List[int], List[int]]:
+    """Compute a maximum matching of ``graph``.
+
+    Returns ``(match_left, match_right)`` where ``match_left[i]`` is the
+    right id matched to left vertex ``i`` (or ``-1``) and ``match_right[j]``
+    is the left vertex matched to right id ``j`` (or ``-1``).
+    """
+    n_left = graph.n_left
+    n_right = graph.n_right
+    match_left = [-1] * n_left
+    match_right = [-1] * n_right
+
+    # Greedy warm start: match each left vertex to its first free neighbor.
+    for u in range(n_left):
+        for v in graph.neighbors(u):
+            if match_right[v] == -1:
+                match_left[u] = v
+                match_right[v] = u
+                break
+
+    dist: List[float] = [0.0] * n_left
+
+    def bfs() -> bool:
+        queue: deque = deque()
+        for u in range(n_left):
+            if match_left[u] == -1:
+                dist[u] = 0.0
+                queue.append(u)
+            else:
+                dist[u] = _INF
+        found_free = False
+        while queue:
+            u = queue.popleft()
+            for v in graph.neighbors(u):
+                w = match_right[v]
+                if w == -1:
+                    found_free = True
+                elif dist[w] == _INF:
+                    dist[w] = dist[u] + 1
+                    queue.append(w)
+        return found_free
+
+    def dfs(u: int) -> bool:
+        for v in graph.neighbors(u):
+            w = match_right[v]
+            if w == -1 or (dist[w] == dist[u] + 1 and dfs(w)):
+                match_left[u] = v
+                match_right[v] = u
+                return True
+        dist[u] = _INF
+        return False
+
+    while bfs():
+        for u in range(n_left):
+            if match_left[u] == -1:
+                dfs(u)
+
+    return match_left, match_right
+
+
+def maximum_matching(graph: BipartiteGraph) -> Dict[int, Hashable]:
+    """Maximum matching as a ``{left vertex: right label}`` dictionary."""
+    match_left, _match_right = hopcroft_karp(graph)
+    return graph.matching_to_labels(match_left)

@@ -1,0 +1,23 @@
+"""Power model and discrete-time machine simulator.
+
+The analytical power accounting used by the solvers
+(:func:`repro.core.schedule.power_cost_of_busy_times`) assumes the optimal
+sleep/wake policy for fixed execution times.  This package provides an
+explicit state-machine simulation of one or more processors executing a
+schedule under a configurable policy, so that:
+
+* the analytical numbers can be cross-checked end-to-end (experiment E12),
+* alternative, non-optimal policies (always-on, always-sleep, fixed
+  timeouts) can be compared against the paper's algorithms in the examples.
+"""
+
+from .model import PowerModel, SleepStatePolicy
+from .simulator import ProcessorTrace, SimulationResult, simulate_schedule
+
+__all__ = [
+    "PowerModel",
+    "SleepStatePolicy",
+    "ProcessorTrace",
+    "SimulationResult",
+    "simulate_schedule",
+]

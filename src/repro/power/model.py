@@ -1,0 +1,85 @@
+"""Power model: states, transition costs and idle policies.
+
+The paper's model has two processor states — *active* (1 unit of energy per
+time unit, can execute) and *sleep* (free, cannot execute) — and a fixed
+cost ``alpha`` charged at every transition from sleep to active.  The
+:class:`PowerModel` captures those constants; :class:`SleepStatePolicy`
+captures the decision rule used while the processor is idle.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..core.exceptions import InvalidInstanceError
+
+__all__ = ["PowerModel", "SleepStatePolicy"]
+
+
+class SleepStatePolicy(enum.Enum):
+    """Idle-time policy of a processor.
+
+    ``OPTIMAL_OFFLINE``
+        Knows the next execution time; stays active through a gap exactly
+        when the gap is shorter than ``alpha`` (the policy the paper's cost
+        accounting assumes).
+    ``ALWAYS_SLEEP``
+        Sleeps the moment it becomes idle, paying ``alpha`` at every wake-up
+        (this is the pure gap-scheduling regime).
+    ``ALWAYS_ACTIVE``
+        Never sleeps after the first wake-up (an upper-bound baseline).
+    ``TIMEOUT``
+        Stays active for ``timeout`` idle time units, then sleeps — the
+        classical "competitive ski-rental" heuristic used in practice.
+    """
+
+    OPTIMAL_OFFLINE = "optimal_offline"
+    ALWAYS_SLEEP = "always_sleep"
+    ALWAYS_ACTIVE = "always_active"
+    TIMEOUT = "timeout"
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Constants of the two-state power model.
+
+    Parameters
+    ----------
+    alpha:
+        Energy cost of one sleep-to-active transition.
+    active_power:
+        Energy per time unit spent in the active state (the paper fixes this
+        to 1; it is exposed for sensitivity experiments).
+    sleep_power:
+        Energy per time unit spent asleep (the paper fixes this to 0).
+    """
+
+    alpha: float
+    active_power: float = 1.0
+    sleep_power: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.alpha < 0:
+            raise InvalidInstanceError(f"alpha must be non-negative, got {self.alpha}")
+        if self.active_power < 0 or self.sleep_power < 0:
+            raise InvalidInstanceError("power rates must be non-negative")
+        if self.sleep_power > self.active_power:
+            raise InvalidInstanceError(
+                "sleep power exceeding active power makes the sleep state useless"
+            )
+
+    def gap_cost(self, gap_length: int) -> float:
+        """Cost of an idle stretch of ``gap_length`` units under the optimal policy."""
+        if gap_length < 0:
+            raise InvalidInstanceError(f"gap length must be non-negative, got {gap_length}")
+        stay_active = gap_length * self.active_power
+        sleep = gap_length * self.sleep_power + self.alpha
+        return min(stay_active, sleep)
+
+    def break_even_gap(self) -> float:
+        """Gap length at which sleeping and staying active cost the same."""
+        rate_difference = self.active_power - self.sleep_power
+        if rate_difference == 0:
+            return float("inf")
+        return self.alpha / rate_difference

@@ -1,0 +1,169 @@
+"""Discrete-time processor simulator.
+
+The simulator walks the timeline one unit at a time and runs an explicit
+sleep/active state machine per processor, charging energy according to a
+:class:`~repro.power.model.PowerModel` and an idle policy.  It is the
+"hardware" counterpart of the analytical accounting used by the solvers and
+is used by experiment E12 (and the property tests) to confirm that both
+agree under the optimal offline policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..core.exceptions import InvalidScheduleError
+from ..core.schedule import MultiprocessorSchedule, Schedule
+from .model import PowerModel, SleepStatePolicy
+
+__all__ = ["ProcessorTrace", "SimulationResult", "simulate_schedule"]
+
+
+@dataclass
+class ProcessorTrace:
+    """Per-processor outcome of a simulation."""
+
+    processor: int
+    busy_times: List[int]
+    active_time: int
+    wakeups: int
+    energy: float
+
+    @property
+    def executed_jobs(self) -> int:
+        """Number of unit jobs executed on this processor."""
+        return len(self.busy_times)
+
+
+@dataclass
+class SimulationResult:
+    """Aggregate outcome of a simulation."""
+
+    traces: List[ProcessorTrace]
+    policy: SleepStatePolicy
+    model: PowerModel
+
+    @property
+    def total_energy(self) -> float:
+        """Total energy across processors."""
+        return sum(trace.energy for trace in self.traces)
+
+    @property
+    def total_wakeups(self) -> int:
+        """Total number of sleep-to-active transitions."""
+        return sum(trace.wakeups for trace in self.traces)
+
+    @property
+    def total_active_time(self) -> int:
+        """Total time spent in the active state across processors."""
+        return sum(trace.active_time for trace in self.traces)
+
+
+def _simulate_single_timeline(
+    busy_times: Sequence[int],
+    model: PowerModel,
+    policy: SleepStatePolicy,
+    timeout: int,
+) -> Tuple[int, int, float]:
+    """Simulate one processor; returns (active_time, wakeups, energy)."""
+    times = sorted(set(busy_times))
+    if not times:
+        return 0, 0, 0.0
+
+    active_time = 0
+    wakeups = 0
+    energy = 0.0
+    awake = False
+    idle_run = 0
+
+    t = times[0]
+    busy_set = set(times)
+    end = times[-1]
+    while t <= end:
+        busy = t in busy_set
+        if busy:
+            if not awake:
+                awake = True
+                wakeups += 1
+                energy += model.alpha
+            idle_run = 0
+            active_time += 1
+            energy += model.active_power
+        else:
+            if awake:
+                idle_run += 1
+                next_busy = _next_busy_after(times, t)
+                if policy is SleepStatePolicy.ALWAYS_SLEEP:
+                    stay = False
+                elif policy is SleepStatePolicy.ALWAYS_ACTIVE:
+                    stay = True
+                elif policy is SleepStatePolicy.TIMEOUT:
+                    stay = idle_run <= timeout
+                else:  # OPTIMAL_OFFLINE
+                    gap_length = (next_busy - t) + (idle_run - 1) if next_busy is not None else None
+                    # The full gap length measured from the last busy slot.
+                    stay = (
+                        next_busy is not None
+                        and (gap_length is not None)
+                        and gap_length * (model.active_power - model.sleep_power)
+                        < model.alpha
+                    ) or (
+                        next_busy is not None and model.active_power == model.sleep_power
+                    )
+                if stay:
+                    active_time += 1
+                    energy += model.active_power
+                else:
+                    awake = False
+                    energy += model.sleep_power
+            else:
+                energy += model.sleep_power
+        t += 1
+    return active_time, wakeups, energy
+
+
+def _next_busy_after(times: Sequence[int], t: int) -> Optional[int]:
+    for candidate in times:
+        if candidate > t:
+            return candidate
+    return None
+
+
+def simulate_schedule(
+    schedule: Union[Schedule, MultiprocessorSchedule],
+    model: PowerModel,
+    policy: SleepStatePolicy = SleepStatePolicy.OPTIMAL_OFFLINE,
+    timeout: int = 0,
+) -> SimulationResult:
+    """Simulate a schedule under ``model`` and ``policy``.
+
+    Single-processor :class:`~repro.core.schedule.Schedule` objects are
+    simulated as one timeline; multiprocessor schedules are simulated per
+    processor.  Under ``SleepStatePolicy.OPTIMAL_OFFLINE`` the total energy
+    equals the analytical ``power_cost`` of the schedule (up to floating
+    point), which the tests assert.
+    """
+    if isinstance(schedule, MultiprocessorSchedule):
+        busy_by_processor = schedule.busy_times_by_processor()
+    else:
+        busy_by_processor = {1: schedule.busy_times()}
+
+    traces: List[ProcessorTrace] = []
+    for processor in sorted(busy_by_processor):
+        busy = busy_by_processor[processor]
+        if not busy:
+            continue
+        active_time, wakeups, energy = _simulate_single_timeline(
+            busy, model, policy, timeout
+        )
+        traces.append(
+            ProcessorTrace(
+                processor=processor,
+                busy_times=sorted(busy),
+                active_time=active_time,
+                wakeups=wakeups,
+                energy=energy,
+            )
+        )
+    return SimulationResult(traces=traces, policy=policy, model=model)

@@ -1,0 +1,46 @@
+"""Executable reductions and hardness gadgets (Sections 2, 4 and 5).
+
+Hardness-of-approximation results cannot be "run", but every reduction in
+the paper is a constructive gadget, and gadgets can be built, solved and
+checked.  Each module here exposes a ``build_*`` function that converts a
+source instance into a scheduling instance, plus forward/backward solution
+mappings and the exact cost correspondence claimed by the theorem.  The
+test-suite and experiments E5-E7 validate those correspondences with the
+exact solvers on small instances.
+
+* :mod:`multiproc_as_intervals` — the Section 2 observation that a
+  p-processor instance is an arithmetic p-interval instance.
+* :mod:`setcover_to_powermin` — Theorem 4 (and 5): set cover -> multi-interval
+  power minimization with ``alpha = n``.
+* :mod:`setcover_to_gap` — Theorem 6: set cover -> multi-interval gap
+  scheduling.
+* :mod:`multi_to_two_interval` — Theorem 7: multi-interval -> 2-interval gap
+  scheduling.
+* :mod:`multi_to_three_unit` — Theorem 8: multi-interval -> 3-unit gap
+  scheduling.
+* :mod:`two_unit_disjoint` — Theorem 9: 2-unit <-> disjoint-unit equivalence.
+* :mod:`bsetcover_to_disjoint` — Theorem 10: B-set cover -> disjoint-unit gap
+  scheduling.
+"""
+
+from .multiproc_as_intervals import multiprocessor_as_multi_interval
+from .setcover_to_powermin import SetCoverPowerGadget, build_power_gadget
+from .setcover_to_gap import SetCoverGapGadget, build_gap_gadget
+from .multi_to_two_interval import build_two_interval_gadget
+from .multi_to_three_unit import build_three_unit_gadget
+from .two_unit_disjoint import disjoint_unit_to_two_unit, two_unit_to_disjoint_unit
+from .bsetcover_to_disjoint import BSetCoverDisjointGadget, build_disjoint_unit_gadget
+
+__all__ = [
+    "multiprocessor_as_multi_interval",
+    "SetCoverPowerGadget",
+    "build_power_gadget",
+    "SetCoverGapGadget",
+    "build_gap_gadget",
+    "build_two_interval_gadget",
+    "build_three_unit_gadget",
+    "two_unit_to_disjoint_unit",
+    "disjoint_unit_to_two_unit",
+    "BSetCoverDisjointGadget",
+    "build_disjoint_unit_gadget",
+]

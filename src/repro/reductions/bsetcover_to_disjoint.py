@@ -1,0 +1,130 @@
+"""Theorem 10 gadget: B-set cover -> disjoint-unit gap scheduling.
+
+Given a B-set-cover instance (every set has at most ``B`` elements), build a
+disjoint-unit gap-scheduling instance as follows: for every *non-empty
+subset* ``A`` of every set ``c_i``, create a fresh interval of ``|A|``
+consecutive time units, all intervals pairwise non-adjacent; the ``j``-th
+unit of the interval is allowed (only) for the job of the ``j``-th smallest
+element of ``A``.  Because ``B`` is a constant the number of subsets is
+polynomial.
+
+Correspondence (verified by experiment E7): a cover of size ``k`` yields a
+schedule occupying exactly ``k`` completely-filled intervals, i.e. ``k``
+busy spans; conversely a schedule with ``k`` busy spans selects ``k`` sets
+that cover every element.  Following the Section 5 convention that one of
+the two infinite idle intervals also counts as a gap, the gap count equals
+the span count; the builder exposes both numbers.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..core.exceptions import InvalidInstanceError, InvalidScheduleError
+from ..core.jobs import MultiIntervalInstance, MultiIntervalJob
+from ..core.schedule import Schedule
+from ..setcover import SetCoverInstance
+
+__all__ = ["BSetCoverDisjointGadget", "build_disjoint_unit_gadget"]
+
+
+@dataclass
+class BSetCoverDisjointGadget:
+    """The constructed disjoint-unit instance plus solution mappings."""
+
+    source: SetCoverInstance
+    instance: MultiIntervalInstance
+    interval_of_subset: Dict[Tuple[int, FrozenSet[int]], Tuple[int, int]]
+    element_jobs: Dict[int, int]
+
+    # -- forward direction ---------------------------------------------------------
+    def cover_to_schedule(self, cover: Sequence[int]) -> Schedule:
+        """Turn a set cover of size k into a schedule with exactly k busy spans."""
+        if not self.source.is_cover(cover):
+            raise InvalidInstanceError("the provided indices do not form a set cover")
+        # Assign every element to the first covering set in `cover`.
+        assigned: Dict[int, List[int]] = {idx: [] for idx in cover}
+        for element in self.source.universe:
+            for idx in cover:
+                if element in self.source.sets[idx]:
+                    assigned[idx].append(element)
+                    break
+        assignment: Dict[int, int] = {}
+        for idx, elements in assigned.items():
+            if not elements:
+                continue
+            subset = frozenset(elements)
+            start, _end = self.interval_of_subset[(idx, subset)]
+            ordered = sorted(elements)
+            for offset, element in enumerate(ordered):
+                assignment[self.element_jobs[element]] = start + offset
+        schedule = Schedule(instance=self.instance, assignment=assignment)
+        schedule.validate()
+        return schedule
+
+    # -- backward direction ---------------------------------------------------------
+    def schedule_to_cover(self, schedule: Schedule) -> List[int]:
+        """Select every set owning an interval that executes at least one job."""
+        schedule.validate()
+        chosen: List[int] = []
+        for (set_idx, _subset), (start, end) in self.interval_of_subset.items():
+            if set_idx in chosen:
+                continue
+            for t in schedule.assignment.values():
+                if start <= t <= end:
+                    chosen.append(set_idx)
+                    break
+        if not self.source.is_cover(chosen):
+            raise InvalidScheduleError("schedule does not induce a valid cover")
+        return chosen
+
+    # -- claimed correspondence --------------------------------------------------------
+    def spans_of_cover_size(self, k: int) -> int:
+        """Busy spans of the schedule built from a cover of size ``k``."""
+        return k
+
+
+def build_disjoint_unit_gadget(source: SetCoverInstance) -> BSetCoverDisjointGadget:
+    """Build the Theorem 10 gadget (see module docstring)."""
+    if not source.is_coverable():
+        raise InvalidInstanceError("the set-cover instance is not coverable")
+    if source.max_set_size > 12:
+        raise InvalidInstanceError(
+            "sets larger than 12 elements would create more than 4095 subsets each; "
+            "Theorem 10 assumes the set size B is a constant"
+        )
+
+    interval_of_subset: Dict[Tuple[int, FrozenSet[int]], Tuple[int, int]] = {}
+    element_times: Dict[int, List[int]] = {e: [] for e in source.universe}
+    cursor = 0
+    for set_idx, s in enumerate(source.sets):
+        elements = sorted(s)
+        for size in range(1, len(elements) + 1):
+            for combo in itertools.combinations(elements, size):
+                start = cursor
+                end = start + len(combo) - 1
+                cursor = end + 2  # leave one idle slot so intervals never merge
+                interval_of_subset[(set_idx, frozenset(combo))] = (start, end)
+                for offset, element in enumerate(combo):
+                    element_times[element].append(start + offset)
+
+    jobs: List[MultiIntervalJob] = []
+    element_jobs: Dict[int, int] = {}
+    for element in source.universe:
+        times = element_times[element]
+        if not times:  # pragma: no cover - coverability already checked
+            raise InvalidInstanceError(f"element {element} appears in no set")
+        element_jobs[element] = len(jobs)
+        jobs.append(MultiIntervalJob(times=times, name=f"elem{element}"))
+
+    instance = MultiIntervalInstance(jobs=jobs)
+    if not instance.is_disjoint_unit():
+        raise InvalidInstanceError("internal error: gadget instance is not disjoint-unit")
+    return BSetCoverDisjointGadget(
+        source=source,
+        instance=instance,
+        interval_of_subset=interval_of_subset,
+        element_jobs=element_jobs,
+    )

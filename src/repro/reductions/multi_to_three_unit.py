@@ -1,0 +1,112 @@
+"""Theorem 8 gadget: multi-interval -> 3-unit gap scheduling.
+
+For every job ``j`` with allowed unit times ``t_1, ..., t_k`` (``k > 3``) the
+paper introduces an extra interval of length ``2k - 1`` and replaces ``j``
+by:
+
+* ``k`` dummy jobs pinned to the odd positions of the extra interval;
+* jobs ``j_1, ..., j_{k-1}`` where ``j_i`` may run at ``t_i``, at position
+  ``2i`` of the extra interval, or at position ``(2i + 2) mod 2k``;
+* job ``j_k`` which may run at ``t_k``, at position 2, or at position 4.
+
+Every new job has at most three allowed unit times, the extra interval can
+always be filled by any ``k - 1`` of the new jobs, and exactly one new job
+per original job escapes the extra interval, acting as the original job.
+The optimum of the constructed instance is ``OPT`` or ``OPT + 1`` (the extra
+block's own gap), matching the relation verified by the tests.
+
+Positions inside the extra interval are 1-indexed as in the paper; position
+``(2i + 2) mod 2k`` uses the paper's convention that position 0 denotes
+position ``2k`` wrapping back to 2 (the smallest even slot) — concretely,
+for ``i = k - 1`` the alternative slot is position 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..core.exceptions import InvalidInstanceError
+from ..core.jobs import MultiIntervalInstance, MultiIntervalJob
+
+__all__ = ["ThreeUnitGadget", "build_three_unit_gadget"]
+
+
+@dataclass
+class ThreeUnitGadget:
+    """The 3-unit instance constructed from a multi-interval instance."""
+
+    source: MultiIntervalInstance
+    instance: MultiIntervalInstance
+    extra_block: Tuple[int, int]
+    replacement_of: Dict[int, List[int]]
+    dummy_jobs: List[int]
+
+    def max_unit_times(self) -> int:
+        """Maximum number of allowed times of any job in the constructed instance."""
+        return max(job.num_times for job in self.instance.jobs)
+
+
+def _wrapped_even_position(i: int, k: int) -> int:
+    """The paper's ``(2i + 2) mod 2k`` even position, 1-indexed, mapping 0 to 2."""
+    pos = (2 * i + 2) % (2 * k)
+    return pos if pos != 0 else 2
+
+
+def build_three_unit_gadget(
+    source: MultiIntervalInstance, block_start: Optional[int] = None
+) -> ThreeUnitGadget:
+    """Build the Theorem 8 gadget (see module docstring)."""
+    if source.num_jobs == 0:
+        raise InvalidInstanceError("cannot build a gadget from an empty instance")
+    _lo, horizon_hi = source.horizon
+    if block_start is None:
+        block_start = horizon_hi + 2
+
+    jobs: List[MultiIntervalJob] = []
+    replacement_of: Dict[int, List[int]] = {}
+    dummy_jobs: List[int] = []
+    cursor = block_start
+
+    for src_idx, job in enumerate(source.jobs):
+        times = list(job.times)
+        k = len(times)
+        if k <= 3:
+            replacement_of[src_idx] = [len(jobs)]
+            jobs.append(MultiIntervalJob(times=times, name=f"{job.name or src_idx}"))
+            continue
+        extra_lo = cursor
+        cursor = extra_lo + 2 * k - 1  # next block starts right after (consecutive)
+
+        def unit(position: int) -> int:
+            """Absolute time of the 1-indexed ``position`` inside this extra interval."""
+            return extra_lo + position - 1
+
+        # Dummy jobs pin the odd positions 1, 3, ..., 2k-1.
+        for i in range(1, k + 1):
+            dummy_jobs.append(len(jobs))
+            jobs.append(
+                MultiIntervalJob(times=[unit(2 * i - 1)], name=f"dummy{src_idx}_{i}")
+            )
+        indices: List[int] = []
+        # Jobs j_1 .. j_{k-1}.
+        for i in range(1, k):
+            allowed = [times[i - 1], unit(2 * i), unit(_wrapped_even_position(i, k))]
+            indices.append(len(jobs))
+            jobs.append(
+                MultiIntervalJob(times=allowed, name=f"rep{src_idx}_{i}")
+            )
+        # Job j_k.
+        allowed_k = [times[k - 1], unit(2), unit(4)]
+        indices.append(len(jobs))
+        jobs.append(MultiIntervalJob(times=allowed_k, name=f"rep{src_idx}_{k}"))
+        replacement_of[src_idx] = indices
+
+    instance = MultiIntervalInstance(jobs=jobs)
+    return ThreeUnitGadget(
+        source=source,
+        instance=instance,
+        extra_block=(block_start, max(block_start, cursor - 1)),
+        replacement_of=replacement_of,
+        dummy_jobs=dummy_jobs,
+    )

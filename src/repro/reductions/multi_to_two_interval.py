@@ -1,0 +1,113 @@
+"""Theorem 7 gadget: multi-interval -> 2-interval gap scheduling.
+
+For every job ``j`` whose allowed times form ``k > 2`` maximal intervals
+``I_1, ..., I_k``, the paper introduces:
+
+* an *extra interval* of length ``2k - 1`` (placed after everything else,
+  all extra intervals consecutive so that no gap can appear between them);
+* ``k`` dummy jobs, the ``i``-th of which can only run at the ``(2i-1)``-th
+  unit of the extra interval (the odd positions);
+* ``k`` replacement jobs ``r_1, ..., r_k``; job ``r_i`` may run anywhere in
+  ``I_i`` or anywhere in the extra interval.
+
+Every replacement job then has at most two intervals.  Exactly one ``r_i``
+per original job ends up outside the extra interval (the extra interval has
+exactly ``k - 1`` even positions), and that ``r_i`` plays the role of the
+original job executing in ``I_i``.  The optimum of the constructed instance
+is therefore ``OPT`` or ``OPT + 1`` — the possible extra gap is the one
+created by the block of extra intervals, which the full reduction removes by
+guessing the position of the block next to the last busy slot.  The builder
+exposes both the gadget instance and the claimed relation so the tests can
+verify ``OPT <= OPT_2interval <= OPT + 1`` with the exact solvers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.exceptions import InvalidInstanceError
+from ..core.jobs import MultiIntervalInstance, MultiIntervalJob
+
+__all__ = ["TwoIntervalGadget", "build_two_interval_gadget"]
+
+
+@dataclass
+class TwoIntervalGadget:
+    """The 2-interval instance constructed from a multi-interval instance."""
+
+    source: MultiIntervalInstance
+    instance: MultiIntervalInstance
+    extra_block: Tuple[int, int]
+    replacement_of: Dict[int, List[int]]
+    dummy_jobs: List[int]
+
+    def max_intervals(self) -> int:
+        """Maximum number of intervals of any job in the constructed instance."""
+        return self.instance.max_intervals_per_job()
+
+
+def build_two_interval_gadget(
+    source: MultiIntervalInstance, block_start: Optional[int] = None
+) -> TwoIntervalGadget:
+    """Build the Theorem 7 gadget.
+
+    Parameters
+    ----------
+    source:
+        The multi-interval instance to transform.
+    block_start:
+        Optional explicit start time of the block of extra intervals.  By
+        default the block is placed two slots after the source horizon (so
+        it is separated from the original time line); passing the position
+        right after the last busy slot of an optimal schedule reproduces the
+        "guessing" step of the theorem that removes the +1 gap.
+    """
+    if source.num_jobs == 0:
+        raise InvalidInstanceError("cannot build a gadget from an empty instance")
+    horizon_lo, horizon_hi = source.horizon
+    if block_start is None:
+        block_start = horizon_hi + 2
+
+    jobs: List[MultiIntervalJob] = []
+    replacement_of: Dict[int, List[int]] = {}
+    dummy_jobs: List[int] = []
+    cursor = block_start
+
+    for src_idx, job in enumerate(source.jobs):
+        intervals = job.intervals()
+        k = len(intervals)
+        if k <= 2:
+            replacement_of[src_idx] = [len(jobs)]
+            jobs.append(MultiIntervalJob(times=job.times, name=f"{job.name or src_idx}"))
+            continue
+        extra_lo = cursor
+        extra_hi = cursor + 2 * k - 2  # length 2k - 1
+        cursor = extra_hi + 1  # consecutive extra intervals: no gap between blocks
+        extra_times = list(range(extra_lo, extra_hi + 1))
+        # Dummy jobs pin the odd positions 1, 3, ..., 2k-1 (1-indexed).
+        for i in range(k):
+            dummy_jobs.append(len(jobs))
+            jobs.append(
+                MultiIntervalJob(
+                    times=[extra_lo + 2 * i], name=f"dummy{src_idx}_{i}"
+                )
+            )
+        # Replacement jobs: interval I_i or the extra interval.
+        indices: List[int] = []
+        for i, (lo, hi) in enumerate(intervals):
+            times = list(range(lo, hi + 1)) + extra_times
+            indices.append(len(jobs))
+            jobs.append(
+                MultiIntervalJob(times=times, name=f"rep{src_idx}_{i}")
+            )
+        replacement_of[src_idx] = indices
+
+    instance = MultiIntervalInstance(jobs=jobs)
+    return TwoIntervalGadget(
+        source=source,
+        instance=instance,
+        extra_block=(block_start, cursor - 1) if cursor > block_start else (block_start, block_start),
+        replacement_of=replacement_of,
+        dummy_jobs=dummy_jobs,
+    )

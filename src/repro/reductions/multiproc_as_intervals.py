@@ -1,0 +1,106 @@
+"""Multiprocessor scheduling viewed as arithmetic multi-interval scheduling.
+
+Section 2 of the paper observes that a p-processor one-interval instance is
+a special case of multi-interval scheduling: lay the processor timelines one
+after another with a long period ``x``, so that a job with window ``[r, d]``
+becomes executable in the arithmetic family of intervals
+``[r, d], [r + x, d + x], ..., [r + (p-1)x, d + (p-1)x]``.
+
+Gaps inside one processor segment map one-to-one.  Idle time *between*
+segments is not a gap in the multiprocessor objective (each processor's
+leading/trailing idle time is infinite) but becomes a finite gap on the
+single concatenated timeline whenever two used segments are separated by an
+idle stretch, so::
+
+    gaps(multi-interval view) = gaps(multiprocessor) + (#used segments - 1)
+
+when at least one segment is used.  :func:`gap_correspondence` computes both
+sides so that experiment E10 can verify the relation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..core.exceptions import InvalidInstanceError
+from ..core.jobs import MultiIntervalInstance, MultiIntervalJob, MultiprocessorInstance
+from ..core.schedule import MultiprocessorSchedule, Schedule
+
+__all__ = [
+    "ArithmeticView",
+    "multiprocessor_as_multi_interval",
+    "gap_correspondence",
+]
+
+
+@dataclass(frozen=True)
+class ArithmeticView:
+    """The multi-interval view of a multiprocessor instance."""
+
+    instance: MultiIntervalInstance
+    period: int
+    num_processors: int
+    origin: int
+
+    def to_multi_interval_time(self, processor: int, time: int) -> int:
+        """Map a (processor, time) slot to its position on the concatenated timeline."""
+        return (processor - 1) * self.period + (time - self.origin)
+
+    def to_processor_time(self, position: int) -> Tuple[int, int]:
+        """Map a concatenated-timeline position back to a (processor, time) slot."""
+        processor = position // self.period + 1
+        time = position % self.period + self.origin
+        return processor, time
+
+
+def multiprocessor_as_multi_interval(
+    instance: MultiprocessorInstance, period: Optional[int] = None
+) -> ArithmeticView:
+    """Build the arithmetic multi-interval view of a multiprocessor instance.
+
+    ``period`` defaults to the horizon length plus one, so that consecutive
+    processor segments can never become adjacent on the concatenated
+    timeline (the paper's "each processor runs for less than x units"); any
+    larger value gives the same correspondence.
+    """
+    if instance.num_jobs == 0:
+        raise InvalidInstanceError("cannot build the arithmetic view of an empty instance")
+    lo, hi = instance.horizon
+    natural_period = hi - lo + 1
+    if period is None:
+        period = natural_period + 1
+    if period < natural_period:
+        raise InvalidInstanceError(
+            f"period {period} is shorter than the horizon length {natural_period}"
+        )
+    p = instance.num_processors
+    jobs: List[MultiIntervalJob] = []
+    for job in instance.jobs:
+        times: List[int] = []
+        for q in range(p):
+            base = q * period
+            times.extend(base + (t - lo) for t in job.allowed_times())
+        jobs.append(MultiIntervalJob(times=times, name=job.name))
+    view_instance = MultiIntervalInstance(jobs=jobs)
+    return ArithmeticView(
+        instance=view_instance, period=period, num_processors=p, origin=lo
+    )
+
+
+def gap_correspondence(
+    view: ArithmeticView, schedule: MultiprocessorSchedule
+) -> Tuple[int, int, int]:
+    """Translate a multiprocessor schedule into the arithmetic view and count gaps.
+
+    Returns ``(multiprocessor gaps, multi-interval gaps, used segments)``;
+    the documented relation ``multi = multiproc + used - 1`` holds whenever
+    ``used >= 1``.
+    """
+    assignment: Dict[int, int] = {}
+    for job_idx, (proc, t) in schedule.assignment.items():
+        assignment[job_idx] = view.to_multi_interval_time(proc, t)
+    translated = Schedule(instance=view.instance, assignment=assignment)
+    translated.validate(require_complete=schedule.is_complete())
+    used_segments = schedule.used_processors()
+    return schedule.num_gaps(), translated.num_gaps(), used_segments

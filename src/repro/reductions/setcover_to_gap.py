@@ -1,0 +1,61 @@
+"""Theorem 6 gadget: set cover -> multi-interval gap scheduling.
+
+The construction is the same as Theorem 4's (see
+:mod:`repro.reductions.setcover_to_powermin`): set intervals separated by
+huge idle stretches, one job per element allowed in the intervals of the
+sets containing it, plus one extra unit interval with a private job.  The
+correspondence for the *gap* objective is: the set-cover instance has a
+cover of size ``k`` if and only if the scheduling instance has a feasible
+schedule with exactly ``k`` gaps (the extra interval guarantees that every
+used set interval is followed by at least one more span).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..core.jobs import MultiIntervalInstance
+from ..core.schedule import Schedule
+from ..setcover import SetCoverInstance
+from .setcover_to_powermin import SetCoverPowerGadget, build_power_gadget
+
+__all__ = ["SetCoverGapGadget", "build_gap_gadget"]
+
+
+@dataclass
+class SetCoverGapGadget:
+    """Wrapper exposing the gap-objective correspondence of the shared gadget."""
+
+    inner: SetCoverPowerGadget
+
+    @property
+    def source(self) -> SetCoverInstance:
+        """The original set-cover instance."""
+        return self.inner.source
+
+    @property
+    def instance(self) -> MultiIntervalInstance:
+        """The constructed multi-interval scheduling instance."""
+        return self.inner.instance
+
+    def cover_to_schedule(self, cover: Sequence[int]) -> Schedule:
+        """Turn a set cover of size k into a schedule with exactly k gaps."""
+        return self.inner.cover_to_schedule(cover)
+
+    def schedule_to_cover(self, schedule: Schedule) -> List[int]:
+        """Extract a cover of size at most the schedule's gap count."""
+        return self.inner.schedule_to_cover(schedule)
+
+    def gaps_of_cover_size(self, k: int) -> int:
+        """The gap count the theorem associates with a cover of size ``k``."""
+        return k
+
+    def cover_size_of_gaps(self, gaps: int) -> int:
+        """The cover size the theorem associates with a gap count."""
+        return gaps
+
+
+def build_gap_gadget(source: SetCoverInstance) -> SetCoverGapGadget:
+    """Build the Theorem 6 instance for a set-cover instance."""
+    return SetCoverGapGadget(inner=build_power_gadget(source))

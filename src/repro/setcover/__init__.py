@@ -1,0 +1,20 @@
+"""Set cover substrate.
+
+The hardness results of Sections 4 and 5 of the paper are reductions from
+set cover and from B-set cover (all sets of size at most B).  To make those
+reductions executable this package provides a small set-cover toolkit:
+
+* :class:`~repro.setcover.instance.SetCoverInstance` — instances and
+  solution validation.
+* :func:`~repro.setcover.greedy.greedy_set_cover` — the classical
+  ln(n)-approximation.
+* :func:`~repro.setcover.exact.exact_set_cover` — branch-and-bound optimum
+  for the small instances used in experiments and tests.
+* generators in :mod:`repro.generators.random_instances`.
+"""
+
+from .instance import SetCoverInstance
+from .greedy import greedy_set_cover
+from .exact import exact_set_cover
+
+__all__ = ["SetCoverInstance", "greedy_set_cover", "exact_set_cover"]

@@ -1,0 +1,37 @@
+"""Greedy ln(n)-approximation for set cover."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from ..core.exceptions import InfeasibleInstanceError
+from .instance import SetCoverInstance
+
+__all__ = ["greedy_set_cover"]
+
+
+def greedy_set_cover(instance: SetCoverInstance) -> List[int]:
+    """Return set indices chosen by the classical greedy algorithm.
+
+    At each step the set covering the largest number of still-uncovered
+    elements is selected (ties broken by smaller index for determinism).
+    Raises :class:`InfeasibleInstanceError` when the universe cannot be
+    covered at all.
+    """
+    uncovered: Set[int] = set(instance.universe)
+    chosen: List[int] = []
+    while uncovered:
+        best_idx: Optional[int] = None
+        best_gain = 0
+        for idx, s in enumerate(instance.sets):
+            gain = len(s & uncovered)
+            if gain > best_gain:
+                best_gain = gain
+                best_idx = idx
+        if best_idx is None:
+            raise InfeasibleInstanceError(
+                f"elements {sorted(uncovered)} cannot be covered by any set"
+            )
+        chosen.append(best_idx)
+        uncovered -= instance.sets[best_idx]
+    return chosen

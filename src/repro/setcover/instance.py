@@ -1,0 +1,82 @@
+"""Set cover instances."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+from ..core.exceptions import InvalidInstanceError
+
+__all__ = ["SetCoverInstance"]
+
+
+@dataclass(frozen=True)
+class SetCoverInstance:
+    """An instance of (unweighted) set cover.
+
+    Parameters
+    ----------
+    universe:
+        The elements to cover (stored as a sorted tuple).
+    sets:
+        The available subsets, each stored as a frozenset.  Every element of
+        every set must belong to the universe, and the union of all sets
+        must cover the universe for the instance to be *coverable*.
+    """
+
+    universe: Tuple[int, ...]
+    sets: Tuple[FrozenSet[int], ...]
+
+    def __init__(self, universe: Iterable[int], sets: Iterable[Iterable[int]]) -> None:
+        uni = tuple(sorted(set(universe)))
+        normalized: List[FrozenSet[int]] = []
+        uni_set = set(uni)
+        for s in sets:
+            fs = frozenset(s)
+            if not fs:
+                raise InvalidInstanceError("set cover sets must be non-empty")
+            if not fs <= uni_set:
+                raise InvalidInstanceError(
+                    f"set {sorted(fs)} contains elements outside the universe"
+                )
+            normalized.append(fs)
+        object.__setattr__(self, "universe", uni)
+        object.__setattr__(self, "sets", tuple(normalized))
+
+    @property
+    def num_elements(self) -> int:
+        """Size of the universe."""
+        return len(self.universe)
+
+    @property
+    def num_sets(self) -> int:
+        """Number of available sets."""
+        return len(self.sets)
+
+    @property
+    def max_set_size(self) -> int:
+        """The parameter B of B-set cover: the largest set cardinality."""
+        return max((len(s) for s in self.sets), default=0)
+
+    def is_coverable(self) -> bool:
+        """True when the union of all sets covers the universe."""
+        covered: Set[int] = set()
+        for s in self.sets:
+            covered |= s
+        return covered >= set(self.universe)
+
+    def is_cover(self, chosen: Sequence[int]) -> bool:
+        """True when the chosen set indices cover the whole universe."""
+        covered: Set[int] = set()
+        for idx in chosen:
+            if not 0 <= idx < len(self.sets):
+                raise InvalidInstanceError(f"unknown set index {idx}")
+            covered |= self.sets[idx]
+        return covered >= set(self.universe)
+
+    def coverage(self, chosen: Sequence[int]) -> Set[int]:
+        """The set of covered elements for the chosen set indices."""
+        covered: Set[int] = set()
+        for idx in chosen:
+            covered |= self.sets[idx]
+        return covered

@@ -1,0 +1,25 @@
+"""Set packing substrate (Hurkens-Schrijver local search).
+
+Theorem 3 of the paper schedules pairs (more generally k-tuples) of jobs in
+adjacent time slots by solving a (k+1)-set-packing problem with the
+(k/2 + eps)-approximation local-search algorithm of Hurkens and Schrijver
+[HS89].  This package provides:
+
+* :class:`~repro.setpacking.instance.SetPackingInstance` — instances and
+  validation.
+* :func:`~repro.setpacking.local_search.local_search_set_packing` — greedy
+  start followed by bounded-size swap local search (the [HS89] scheme).
+* :func:`~repro.setpacking.exact.exact_set_packing` — exact optimum for
+  small instances (test oracle).
+"""
+
+from .instance import SetPackingInstance
+from .local_search import greedy_set_packing, local_search_set_packing
+from .exact import exact_set_packing
+
+__all__ = [
+    "SetPackingInstance",
+    "greedy_set_packing",
+    "local_search_set_packing",
+    "exact_set_packing",
+]

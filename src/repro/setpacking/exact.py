@@ -1,0 +1,38 @@
+"""Exact maximum set packing for small instances (test oracle)."""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Sequence, Set
+
+from .instance import SetPackingInstance
+
+__all__ = ["exact_set_packing"]
+
+
+def exact_set_packing(instance: SetPackingInstance) -> List[int]:
+    """Return an optimal packing (maximum number of pairwise-disjoint sets).
+
+    Branch and bound over sets in index order with the trivial upper bound
+    "remaining sets", which is enough for the <= ~20-set instances used in
+    tests and experiments.
+    """
+    n = instance.num_sets
+    best: List[int] = []
+
+    def branch(idx: int, chosen: List[int], used: Set) -> None:
+        nonlocal best
+        if len(chosen) > len(best):
+            best = list(chosen)
+        if idx == n:
+            return
+        if len(chosen) + (n - idx) <= len(best):
+            return
+        s = instance.sets[idx]
+        if not (used & s):
+            chosen.append(idx)
+            branch(idx + 1, chosen, used | s)
+            chosen.pop()
+        branch(idx + 1, chosen, used)
+
+    branch(0, [], set())
+    return best

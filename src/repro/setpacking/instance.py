@@ -1,0 +1,65 @@
+"""Set packing instances."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+from ..core.exceptions import InvalidInstanceError
+
+__all__ = ["SetPackingInstance"]
+
+
+@dataclass(frozen=True)
+class SetPackingInstance:
+    """An instance of maximum (unweighted) set packing.
+
+    A *packing* is a collection of pairwise-disjoint sets; the goal is to
+    maximise its cardinality.  The paper uses k-set packing, where every set
+    has cardinality exactly ``k`` (jobs plus an anchor time slot); this class
+    allows arbitrary sizes and exposes :attr:`uniform_size` for the uniform
+    case.
+    """
+
+    sets: Tuple[FrozenSet, ...]
+
+    def __init__(self, sets: Iterable[Iterable]) -> None:
+        normalized: List[FrozenSet] = []
+        for s in sets:
+            fs = frozenset(s)
+            if not fs:
+                raise InvalidInstanceError("set packing sets must be non-empty")
+            normalized.append(fs)
+        object.__setattr__(self, "sets", tuple(normalized))
+
+    @property
+    def num_sets(self) -> int:
+        """Number of available sets."""
+        return len(self.sets)
+
+    @property
+    def uniform_size(self) -> int:
+        """Common set size if all sets have the same cardinality, else 0."""
+        sizes = {len(s) for s in self.sets}
+        if len(sizes) == 1:
+            return next(iter(sizes))
+        return 0
+
+    def base_set(self) -> Set:
+        """Union of all sets (the underlying base set)."""
+        base: Set = set()
+        for s in self.sets:
+            base |= s
+        return base
+
+    def is_packing(self, chosen: Sequence[int]) -> bool:
+        """True when the chosen set indices are pairwise disjoint."""
+        seen: Set = set()
+        for idx in chosen:
+            if not 0 <= idx < len(self.sets):
+                raise InvalidInstanceError(f"unknown set index {idx}")
+            s = self.sets[idx]
+            if seen & s:
+                return False
+            seen |= s
+        return True

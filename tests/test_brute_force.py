@@ -1,0 +1,102 @@
+"""Unit tests for the brute-force oracles themselves."""
+
+import pytest
+
+from repro import MultiIntervalInstance, MultiprocessorInstance, OneIntervalInstance
+from repro.core.brute_force import (
+    brute_force_gap_multi_interval,
+    brute_force_gap_multiproc,
+    brute_force_gap_single,
+    brute_force_power_multi_interval,
+    brute_force_power_multiproc,
+    brute_force_throughput,
+    enumerate_time_assignments,
+)
+
+
+class TestEnumeration:
+    def test_counts_all_assignments(self):
+        allowed = [[0, 1], [0, 1]]
+        assignments = list(enumerate_time_assignments(allowed, capacity=1))
+        assert len(assignments) == 2  # the two permutations
+
+    def test_capacity_two_allows_sharing(self):
+        allowed = [[0], [0]]
+        assert list(enumerate_time_assignments(allowed, capacity=1)) == []
+        assert len(list(enumerate_time_assignments(allowed, capacity=2))) == 1
+
+    def test_empty_job_list_yields_empty_assignment(self):
+        assert list(enumerate_time_assignments([], capacity=1)) == [{}]
+
+
+class TestSingleProcessorOracles:
+    def test_gap_single_optimal(self):
+        instance = OneIntervalInstance.from_pairs([(0, 1), (3, 4)])
+        gaps, schedule = brute_force_gap_single(instance)
+        assert gaps == 1
+        schedule.validate()
+
+    def test_gap_single_infeasible(self):
+        instance = OneIntervalInstance.from_pairs([(0, 0), (0, 0)])
+        gaps, schedule = brute_force_gap_single(instance)
+        assert gaps is None and schedule is None
+
+    def test_power_multi_interval(self):
+        instance = MultiIntervalInstance.from_time_lists([[0], [4]])
+        power, schedule = brute_force_power_multi_interval(instance, alpha=1.0)
+        assert power == pytest.approx(2 + 1 + 1)
+        schedule.validate()
+
+    def test_gap_multi_interval_prefers_contiguity(self):
+        instance = MultiIntervalInstance.from_time_lists([[0, 5], [1, 9]])
+        gaps, schedule = brute_force_gap_multi_interval(instance)
+        assert gaps == 0
+        assert sorted(schedule.assignment.values()) == [0, 1]
+
+
+class TestMultiprocessorOracles:
+    def test_gap_multiproc(self):
+        instance = MultiprocessorInstance.from_pairs(
+            [(0, 0), (0, 0), (2, 2)], num_processors=2
+        )
+        gaps, schedule = brute_force_gap_multiproc(instance)
+        assert gaps == 1
+        schedule.validate()
+
+    def test_gap_multiproc_exhaustive_matches_staircase(self):
+        instance = MultiprocessorInstance.from_pairs(
+            [(0, 1), (0, 1), (1, 2)], num_processors=2
+        )
+        staircase, _ = brute_force_gap_multiproc(instance)
+        exhaustive, _ = brute_force_gap_multiproc(instance, exhaustive_processors=True)
+        assert staircase == exhaustive
+
+    def test_power_multiproc_empty(self):
+        instance = MultiprocessorInstance(jobs=[], num_processors=2)
+        power, schedule = brute_force_power_multiproc(instance, alpha=1.0)
+        assert power == 0.0 and schedule.num_scheduled == 0
+
+    def test_gap_multiproc_infeasible(self):
+        instance = MultiprocessorInstance.from_pairs(
+            [(0, 0), (0, 0), (0, 0)], num_processors=2
+        )
+        gaps, schedule = brute_force_gap_multiproc(instance)
+        assert gaps is None and schedule is None
+
+
+class TestThroughputOracle:
+    def test_all_jobs_fit_without_gap_budget_pressure(self):
+        instance = MultiIntervalInstance.from_time_lists([[0, 1], [1, 2], [2, 3]])
+        count, schedule = brute_force_throughput(instance, max_gaps=2)
+        assert count == 3
+        schedule.validate(require_complete=False)
+
+    def test_budget_zero_forces_one_block(self):
+        instance = MultiIntervalInstance.from_time_lists([[0], [1], [5]])
+        count, _ = brute_force_throughput(instance, max_gaps=0)
+        assert count == 2
+
+    def test_budget_allows_second_block(self):
+        instance = MultiIntervalInstance.from_time_lists([[0], [1], [5]])
+        count, _ = brute_force_throughput(instance, max_gaps=1)
+        assert count == 3

@@ -1,0 +1,57 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_parses_solve_gap(self):
+        args = build_parser().parse_args(["solve-gap", "0,2", "3,5", "-p", "2"])
+        assert args.command == "solve-gap"
+        assert args.processors == 2
+
+
+class TestCommands:
+    def test_solve_gap_prints_optimum(self, capsys):
+        code = main(["solve-gap", "0,0", "2,2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "optimal gaps: 1" in out
+
+    def test_solve_gap_infeasible_exit_code(self, capsys):
+        code = main(["solve-gap", "0,0", "0,0"])
+        assert code == 1
+        assert "infeasible" in capsys.readouterr().out
+
+    def test_solve_power(self, capsys):
+        code = main(["solve-power", "0,0", "2,2", "--alpha", "5"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "optimal power: 8" in out
+
+    def test_approx_power(self, capsys):
+        code = main(["approx-power", "0 1;1 2;5 6", "--alpha", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "power:" in out
+
+    def test_throughput(self, capsys):
+        code = main(["throughput", "0;1;9", "--max-gaps", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "scheduled 2/3" in out
+
+    def test_experiment_single(self, capsys):
+        code = main(["experiment", "E12", "--scale", "smoke"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "[E12]" in out
+
+    def test_malformed_job_spec(self):
+        with pytest.raises(Exception):
+            main(["solve-gap", "nonsense"])

@@ -1,0 +1,83 @@
+"""Unit tests for the shared interval-decomposition machinery of the exact DPs."""
+
+import pytest
+
+from repro import Job, MultiprocessorInstance
+from repro.core.dp_profile import IntervalDecomposition
+from repro.core.exceptions import InvalidInstanceError
+
+
+@pytest.fixture
+def decomposition() -> IntervalDecomposition:
+    instance = MultiprocessorInstance.from_pairs(
+        [(0, 3), (2, 5), (2, 8), (7, 9)], num_processors=2
+    )
+    return IntervalDecomposition(instance)
+
+
+class TestColumns:
+    def test_columns_cover_horizon_for_small_instances(self, decomposition):
+        assert decomposition.columns == list(range(0, 10))
+        assert decomposition.num_columns == 10
+
+    def test_index_of_and_column_roundtrip(self, decomposition):
+        for idx in range(decomposition.num_columns):
+            assert decomposition.index_of(decomposition.column(idx)) == idx
+
+    def test_first_column_after(self, decomposition):
+        assert decomposition.first_column_after(3) == decomposition.index_of(4)
+        assert decomposition.first_column_after(9) is None
+
+    def test_columns_between(self, decomposition):
+        indices = decomposition.columns_between(2, 4)
+        assert [decomposition.column(i) for i in indices] == [2, 3, 4]
+        assert decomposition.columns_between(20, 30) == []
+
+
+class TestJobQueries:
+    def test_deadline_order_is_by_deadline_then_release(self, decomposition):
+        order = decomposition.deadline_order
+        deadlines = [decomposition.jobs[j].deadline for j in order]
+        assert deadlines == sorted(deadlines)
+
+    def test_jobs_released_in_range(self, decomposition):
+        released = decomposition.jobs_released_in(2, 5)
+        assert set(released) == {1, 2}
+
+    def test_node_jobs_prefix_and_overflow(self, decomposition):
+        assert decomposition.node_jobs(0, 9, 4) is not None
+        assert decomposition.node_jobs(0, 9, 5) is None
+        first_two = decomposition.node_jobs(0, 9, 2)
+        deadlines = [decomposition.jobs[j].deadline for j in first_two]
+        assert deadlines == sorted(deadlines)
+
+    def test_count_released_after(self, decomposition):
+        all_jobs = decomposition.node_jobs(0, 9, 4)
+        assert decomposition.count_released_after(all_jobs, 6) == 1
+        assert decomposition.count_released_after(all_jobs, -1) == 4
+
+    def test_candidate_columns_for_job_clipped_to_interval(self, decomposition):
+        cols = decomposition.candidate_columns_for_job(2, 4, 6)
+        assert [decomposition.column(i) for i in cols] == [4, 5, 6]
+        assert decomposition.candidate_columns_for_job(0, 5, 9) == []
+
+    def test_range_query_is_cached(self, decomposition):
+        first = decomposition.jobs_released_in(0, 9)
+        second = decomposition.jobs_released_in(0, 9)
+        assert first is second
+
+
+class TestValidation:
+    def test_requires_at_least_one_processor(self):
+        # MultiprocessorInstance itself rejects p = 0, so build a valid one and
+        # check the decomposition accepts it; the p >= 1 guard is defensive.
+        instance = MultiprocessorInstance.from_pairs([(0, 1)], num_processors=1)
+        decomposition = IntervalDecomposition(instance)
+        assert decomposition.num_processors == 1
+
+    def test_full_horizon_flag(self):
+        instance = MultiprocessorInstance.from_pairs([(0, 2), (100, 102)], num_processors=1)
+        sparse = IntervalDecomposition(instance)
+        dense = IntervalDecomposition(instance, use_full_horizon=True)
+        assert len(dense.columns) == 103
+        assert len(sparse.columns) < len(dense.columns)

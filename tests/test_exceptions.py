@@ -1,0 +1,51 @@
+"""Tests for the exception hierarchy and error-path behaviour of the public API."""
+
+import pytest
+
+from repro import (
+    InfeasibleInstanceError,
+    InvalidInstanceError,
+    InvalidScheduleError,
+    Job,
+    OneIntervalInstance,
+    ReproError,
+    Schedule,
+    SolverError,
+    feasible_schedule,
+)
+
+
+class TestHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        for exc in (InvalidInstanceError, InfeasibleInstanceError, InvalidScheduleError, SolverError):
+            assert issubclass(exc, ReproError)
+
+    def test_invalid_instance_is_value_error(self):
+        assert issubclass(InvalidInstanceError, ValueError)
+        assert issubclass(InvalidScheduleError, ValueError)
+
+    def test_solver_error_is_runtime_error(self):
+        assert issubclass(SolverError, RuntimeError)
+
+
+class TestErrorPaths:
+    def test_catching_base_class_covers_instance_errors(self):
+        with pytest.raises(ReproError):
+            Job(release=4, deadline=2)
+
+    def test_catching_base_class_covers_infeasibility(self):
+        with pytest.raises(ReproError):
+            feasible_schedule(OneIntervalInstance.from_pairs([(0, 0), (0, 0)]))
+
+    def test_schedule_validation_error_message_names_the_job(self):
+        instance = OneIntervalInstance.from_pairs([(0, 1)])
+        schedule = Schedule(instance=instance, assignment={0: 9})
+        with pytest.raises(InvalidScheduleError) as err:
+            schedule.validate()
+        assert "job 0" in str(err.value)
+
+    def test_infeasibility_message_contains_hall_window(self):
+        with pytest.raises(InfeasibleInstanceError) as err:
+            feasible_schedule(OneIntervalInstance.from_pairs([(2, 3), (2, 3), (2, 3)]))
+        message = str(err.value)
+        assert "[2, 3]" in message and "3 jobs" in message

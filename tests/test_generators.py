@@ -1,0 +1,104 @@
+"""Unit tests for the instance generators."""
+
+import pytest
+
+from repro.core.exceptions import InvalidInstanceError
+from repro.core.feasibility import is_feasible, is_feasible_multiproc
+from repro.generators import (
+    batch_queue_instance,
+    bursty_server_instance,
+    periodic_sensor_instance,
+    random_multi_interval_instance,
+    random_multiprocessor_instance,
+    random_one_interval_instance,
+    random_set_cover_instance,
+)
+
+
+class TestRandomGenerators:
+    def test_one_interval_generator_is_feasible_and_seeded(self):
+        a = random_one_interval_instance(num_jobs=8, horizon=20, seed=1)
+        b = random_one_interval_instance(num_jobs=8, horizon=20, seed=1)
+        c = random_one_interval_instance(num_jobs=8, horizon=20, seed=2)
+        assert a.jobs == b.jobs
+        assert a.jobs != c.jobs or a is not c
+        assert is_feasible(a)
+
+    def test_one_interval_respects_horizon(self):
+        instance = random_one_interval_instance(num_jobs=10, horizon=15, seed=3)
+        lo, hi = instance.horizon
+        assert lo >= 0 and hi <= 14
+
+    def test_multiprocessor_generator(self):
+        instance = random_multiprocessor_instance(
+            num_jobs=9, num_processors=3, horizon=12, seed=4
+        )
+        assert instance.num_processors == 3
+        assert is_feasible_multiproc(instance)
+
+    def test_multi_interval_generator(self):
+        instance = random_multi_interval_instance(
+            num_jobs=6, horizon=20, intervals_per_job=2, interval_length=3, seed=5
+        )
+        assert instance.num_jobs == 6
+        assert is_feasible(instance)
+        assert all(job.num_times <= 6 for job in instance.jobs)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            random_one_interval_instance(num_jobs=3, horizon=0)
+        with pytest.raises(InvalidInstanceError):
+            random_multiprocessor_instance(num_jobs=3, num_processors=0, horizon=5)
+        with pytest.raises(InvalidInstanceError):
+            random_multi_interval_instance(num_jobs=3, horizon=5, intervals_per_job=0)
+
+    def test_impossible_feasibility_raises(self):
+        # 10 jobs cannot fit into a 2-slot horizon on one processor.
+        with pytest.raises(InvalidInstanceError):
+            random_one_interval_instance(num_jobs=10, horizon=2, seed=1)
+
+    def test_set_cover_generator_is_coverable_and_respects_b(self):
+        instance = random_set_cover_instance(
+            num_elements=8, num_sets=5, max_set_size=3, seed=6
+        )
+        assert instance.is_coverable()
+        assert instance.max_set_size <= 3
+
+
+class TestWorkloadGenerators:
+    def test_bursty_server_structure(self):
+        instance = bursty_server_instance(
+            num_bursts=3, jobs_per_burst=4, burst_spacing=10, slack=3, num_processors=2
+        )
+        assert instance.num_jobs == 12
+        releases = sorted(set(job.release for job in instance.jobs))
+        assert releases == [0, 10, 20]
+        assert all(job.deadline - job.release == 3 for job in instance.jobs)
+
+    def test_bursty_server_feasible_with_enough_processors(self):
+        instance = bursty_server_instance(
+            num_bursts=2, jobs_per_burst=4, burst_spacing=12, slack=3, num_processors=2
+        )
+        assert is_feasible_multiproc(instance)
+
+    def test_periodic_sensor_jobs_have_two_intervals(self):
+        instance = periodic_sensor_instance(
+            num_sensors=3, readings_per_sensor=2, period=10, window=2
+        )
+        assert instance.num_jobs == 6
+        assert all(job.num_intervals == 2 for job in instance.jobs)
+
+    def test_batch_queue_respects_slack(self):
+        instance = batch_queue_instance(
+            num_jobs=10, arrival_rate=0.5, slack=4, horizon=60, seed=2
+        )
+        assert instance.num_jobs == 10
+        assert all(job.deadline - job.release <= 4 for job in instance.jobs)
+
+    def test_workload_parameter_validation(self):
+        with pytest.raises(InvalidInstanceError):
+            bursty_server_instance(0, 1, 1, 1, 1)
+        with pytest.raises(InvalidInstanceError):
+            periodic_sensor_instance(0, 1, 5, 1)
+        with pytest.raises(InvalidInstanceError):
+            batch_queue_instance(0, 0.5, 1, 10)

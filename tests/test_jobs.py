@@ -1,0 +1,146 @@
+"""Unit tests for the job / instance data model."""
+
+import pytest
+
+from repro import (
+    InvalidInstanceError,
+    Job,
+    MultiIntervalInstance,
+    MultiIntervalJob,
+    MultiprocessorInstance,
+    OneIntervalInstance,
+    jobs_from_pairs,
+)
+
+
+class TestJob:
+    def test_window_properties(self):
+        job = Job(release=2, deadline=5, name="a")
+        assert job.window == (2, 5)
+        assert job.window_length == 4
+        assert list(job.allowed_times()) == [2, 3, 4, 5]
+
+    def test_can_run_at(self):
+        job = Job(release=1, deadline=3)
+        assert job.can_run_at(1)
+        assert job.can_run_at(3)
+        assert not job.can_run_at(0)
+        assert not job.can_run_at(4)
+
+    def test_deadline_before_release_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            Job(release=5, deadline=4)
+
+    def test_non_integer_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            Job(release=0.5, deadline=4)  # type: ignore[arg-type]
+
+    def test_to_multi_interval(self):
+        job = Job(release=3, deadline=5, name="x")
+        mi = job.to_multi_interval()
+        assert mi.times == (3, 4, 5)
+        assert mi.name == "x"
+
+    def test_ordering_by_release_then_deadline(self):
+        assert Job(0, 2) < Job(1, 1)
+        assert sorted([Job(3, 4), Job(0, 9)])[0] == Job(0, 9)
+
+
+class TestMultiIntervalJob:
+    def test_times_are_sorted_and_deduplicated(self):
+        job = MultiIntervalJob(times=[5, 1, 5, 3])
+        assert job.times == (1, 3, 5)
+        assert job.num_times == 3
+
+    def test_empty_times_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            MultiIntervalJob(times=[])
+
+    def test_intervals_groups_consecutive_times(self):
+        job = MultiIntervalJob(times=[0, 1, 2, 5, 7, 8])
+        assert job.intervals() == [(0, 2), (5, 5), (7, 8)]
+        assert job.num_intervals == 3
+
+    def test_from_intervals(self):
+        job = MultiIntervalJob.from_intervals([(0, 1), (4, 5)])
+        assert job.times == (0, 1, 4, 5)
+
+    def test_from_intervals_rejects_empty_interval(self):
+        with pytest.raises(InvalidInstanceError):
+            MultiIntervalJob.from_intervals([(3, 2)])
+
+    def test_can_run_at(self):
+        job = MultiIntervalJob(times=[2, 9])
+        assert job.can_run_at(2)
+        assert not job.can_run_at(3)
+
+
+class TestOneIntervalInstance:
+    def test_from_pairs_and_horizon(self):
+        instance = OneIntervalInstance.from_pairs([(0, 2), (4, 7)])
+        assert instance.num_jobs == 2
+        assert instance.horizon == (0, 7)
+        assert instance.releases == (0, 4)
+        assert instance.deadlines == (2, 7)
+
+    def test_jobs_sorted_by_deadline(self):
+        instance = OneIntervalInstance.from_pairs([(0, 9), (1, 2), (3, 5)])
+        assert instance.jobs_sorted_by_deadline() == [1, 2, 0]
+
+    def test_to_multiprocessor_and_back(self):
+        instance = OneIntervalInstance.from_pairs([(0, 2), (1, 3)])
+        mp = instance.to_multiprocessor(3)
+        assert mp.num_processors == 3
+        assert mp.single_processor_view().jobs == instance.jobs
+
+    def test_iteration_and_len(self):
+        instance = OneIntervalInstance.from_pairs([(0, 1), (1, 2), (2, 3)])
+        assert len(instance) == 3
+        assert all(isinstance(job, Job) for job in instance)
+
+
+class TestMultiprocessorInstance:
+    def test_requires_positive_processor_count(self):
+        with pytest.raises(InvalidInstanceError):
+            MultiprocessorInstance.from_pairs([(0, 1)], num_processors=0)
+
+    def test_from_pairs(self):
+        instance = MultiprocessorInstance.from_pairs([(0, 1), (0, 1)], num_processors=2)
+        assert instance.num_jobs == 2
+        assert instance.num_processors == 2
+
+
+class TestMultiIntervalInstance:
+    def test_from_time_lists(self):
+        instance = MultiIntervalInstance.from_time_lists([[0, 1], [3]])
+        assert instance.num_jobs == 2
+        assert instance.all_times == (0, 1, 3)
+        assert instance.horizon == (0, 3)
+
+    def test_accepts_one_interval_jobs(self):
+        instance = MultiIntervalInstance(jobs=[Job(0, 2), MultiIntervalJob(times=[5])])
+        assert instance.jobs[0].times == (0, 1, 2)
+
+    def test_unit_and_disjoint_predicates(self):
+        unit_disjoint = MultiIntervalInstance.from_time_lists([[0, 4], [2, 6]])
+        assert unit_disjoint.is_unit_interval()
+        assert unit_disjoint.is_disjoint_unit()
+        overlapping = MultiIntervalInstance.from_time_lists([[0, 4], [4, 6]])
+        assert not overlapping.is_disjoint_unit()
+        contiguous = MultiIntervalInstance.from_time_lists([[0, 1, 2]])
+        assert not contiguous.is_unit_interval()
+
+    def test_allowed_map(self):
+        instance = MultiIntervalInstance.from_time_lists([[0, 1], [1, 2]])
+        mapping = instance.allowed_map()
+        assert mapping[1] == [0, 1]
+        assert mapping[2] == [1]
+
+    def test_max_intervals_per_job(self):
+        instance = MultiIntervalInstance.from_time_lists([[0, 1, 5], [3]])
+        assert instance.max_intervals_per_job() == 2
+
+
+def test_jobs_from_pairs_names():
+    jobs = jobs_from_pairs([(0, 1), (2, 3)])
+    assert [j.name for j in jobs] == ["j0", "j1"]

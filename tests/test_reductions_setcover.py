@@ -1,0 +1,105 @@
+"""Tests for the Theorem 4/6 set-cover hardness gadgets (experiment E5)."""
+
+import pytest
+
+from repro.core.brute_force import (
+    brute_force_gap_multi_interval,
+    brute_force_power_multi_interval,
+)
+from repro.core.exceptions import InvalidInstanceError
+from repro.generators.random_jobs import random_set_cover_instance
+from repro.reductions import build_gap_gadget, build_power_gadget
+from repro.setcover import SetCoverInstance, exact_set_cover, greedy_set_cover
+
+
+@pytest.fixture
+def small_cover_instance() -> SetCoverInstance:
+    return SetCoverInstance(
+        universe=[0, 1, 2, 3], sets=[[0, 1], [1, 2], [2, 3], [0, 3]]
+    )
+
+
+class TestPowerGadget(object):
+    def test_alpha_equals_universe_size(self, small_cover_instance):
+        gadget = build_power_gadget(small_cover_instance)
+        assert gadget.alpha == small_cover_instance.num_elements
+
+    def test_structure_one_job_per_element_plus_extra(self, small_cover_instance):
+        gadget = build_power_gadget(small_cover_instance)
+        assert gadget.instance.num_jobs == small_cover_instance.num_elements + 1
+        assert gadget.instance.jobs[gadget.extra_job].num_times == 1
+
+    def test_intervals_are_far_apart(self, small_cover_instance):
+        gadget = build_power_gadget(small_cover_instance)
+        n = small_cover_instance.num_elements
+        boundaries = sorted(gadget.interval_of_set.values()) + [gadget.extra_interval]
+        for (a_lo, a_hi), (b_lo, _b_hi) in zip(boundaries, boundaries[1:]):
+            assert b_lo - a_hi > n**3
+
+    def test_cover_to_schedule_power_matches_claim(self, small_cover_instance):
+        gadget = build_power_gadget(small_cover_instance)
+        cover = exact_set_cover(small_cover_instance)
+        schedule = gadget.cover_to_schedule(cover)
+        assert schedule.power_cost(gadget.alpha) == pytest.approx(
+            gadget.power_of_cover_size(len(cover))
+        )
+
+    def test_greedy_cover_also_maps(self, small_cover_instance):
+        gadget = build_power_gadget(small_cover_instance)
+        cover = greedy_set_cover(small_cover_instance)
+        schedule = gadget.cover_to_schedule(cover)
+        assert schedule.power_cost(gadget.alpha) == pytest.approx(
+            gadget.power_of_cover_size(len(cover))
+        )
+
+    def test_optimal_power_equals_optimal_cover_correspondence(self):
+        source = random_set_cover_instance(
+            num_elements=4, num_sets=4, max_set_size=3, seed=11
+        )
+        gadget = build_power_gadget(source)
+        optimal_cover = len(exact_set_cover(source))
+        optimal_power, _ = brute_force_power_multi_interval(gadget.instance, gadget.alpha)
+        assert optimal_power == pytest.approx(gadget.power_of_cover_size(optimal_cover))
+        assert gadget.cover_size_of_power(optimal_power) == optimal_cover
+
+    def test_schedule_to_cover_roundtrip(self, small_cover_instance):
+        gadget = build_power_gadget(small_cover_instance)
+        cover = exact_set_cover(small_cover_instance)
+        schedule = gadget.cover_to_schedule(cover)
+        recovered = gadget.schedule_to_cover(schedule)
+        assert small_cover_instance.is_cover(recovered)
+        assert len(recovered) <= len(cover)
+
+    def test_invalid_cover_rejected(self, small_cover_instance):
+        gadget = build_power_gadget(small_cover_instance)
+        with pytest.raises(InvalidInstanceError):
+            gadget.cover_to_schedule([0])  # {0,1} alone does not cover 2, 3
+
+    def test_uncoverable_source_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            build_power_gadget(SetCoverInstance(universe=[0, 1], sets=[[0]]))
+
+
+class TestGapGadget:
+    def test_cover_to_schedule_gap_count_equals_cover_size(self, small_cover_instance):
+        gadget = build_gap_gadget(small_cover_instance)
+        cover = exact_set_cover(small_cover_instance)
+        schedule = gadget.cover_to_schedule(cover)
+        assert schedule.num_gaps() == gadget.gaps_of_cover_size(len(cover))
+
+    def test_optimal_gaps_equal_optimal_cover(self):
+        source = random_set_cover_instance(
+            num_elements=5, num_sets=4, max_set_size=3, seed=3
+        )
+        gadget = build_gap_gadget(source)
+        optimal_cover = len(exact_set_cover(source))
+        optimal_gaps, _ = brute_force_gap_multi_interval(gadget.instance)
+        assert optimal_gaps == optimal_cover
+        assert gadget.cover_size_of_gaps(optimal_gaps) == optimal_cover
+
+    def test_schedule_to_cover_size_bounded_by_gaps(self, small_cover_instance):
+        gadget = build_gap_gadget(small_cover_instance)
+        cover = greedy_set_cover(small_cover_instance)
+        schedule = gadget.cover_to_schedule(cover)
+        recovered = gadget.schedule_to_cover(schedule)
+        assert len(recovered) <= schedule.num_gaps()

@@ -1,0 +1,157 @@
+"""Unit tests for schedules and the gap / power accounting helpers."""
+
+import pytest
+
+from repro import (
+    InvalidScheduleError,
+    MultiprocessorInstance,
+    MultiprocessorSchedule,
+    OneIntervalInstance,
+    Schedule,
+)
+from repro.core.schedule import (
+    gap_lengths_of_busy_times,
+    gaps_of_busy_times,
+    occupancy_profile,
+    power_cost_of_busy_times,
+    spans_of_busy_times,
+    staircase_normalize,
+)
+
+
+class TestBusyTimeHelpers:
+    def test_spans_of_contiguous_times(self):
+        assert spans_of_busy_times([3, 1, 2]) == [(1, 3)]
+
+    def test_spans_with_gaps(self):
+        assert spans_of_busy_times([0, 1, 4, 7, 8]) == [(0, 1), (4, 4), (7, 8)]
+
+    def test_empty(self):
+        assert spans_of_busy_times([]) == []
+        assert gaps_of_busy_times([]) == 0
+        assert power_cost_of_busy_times([], alpha=5) == 0.0
+
+    def test_gap_lengths(self):
+        assert gap_lengths_of_busy_times([0, 1, 4, 7]) == [2, 2]
+        assert gaps_of_busy_times([0, 1, 4, 7]) == 2
+
+    def test_duplicates_are_ignored(self):
+        assert spans_of_busy_times([2, 2, 3]) == [(2, 3)]
+
+    def test_power_cost_short_gap_bridged(self):
+        # gap of length 1 < alpha=3: stay active.
+        assert power_cost_of_busy_times([0, 2], alpha=3) == pytest.approx(2 + 3 + 1)
+
+    def test_power_cost_long_gap_sleeps(self):
+        # gap of length 5 > alpha=2: sleep and wake.
+        assert power_cost_of_busy_times([0, 6], alpha=2) == pytest.approx(2 + 2 + 2)
+
+    def test_power_cost_alpha_zero(self):
+        assert power_cost_of_busy_times([0, 5, 9], alpha=0) == pytest.approx(3)
+
+    def test_occupancy_profile(self):
+        profile = occupancy_profile([(1, 4), (2, 4), (1, 6)])
+        assert profile == {4: 2, 6: 1}
+
+    def test_staircase_normalize_stacks_prefix(self):
+        assignment = {0: (3, 5), 1: (1, 5), 2: (2, 9)}
+        normalized = staircase_normalize(assignment)
+        levels_at_5 = sorted(proc for job, (proc, t) in normalized.items() if t == 5)
+        assert levels_at_5 == [1, 2]
+        assert normalized[2] == (1, 9)
+
+
+class TestSchedule:
+    def make(self):
+        instance = OneIntervalInstance.from_pairs([(0, 3), (0, 3), (5, 6)])
+        return Schedule(instance=instance, assignment={0: 0, 1: 1, 2: 6})
+
+    def test_gap_and_span_counts(self):
+        schedule = self.make()
+        assert schedule.num_spans() == 2
+        assert schedule.num_gaps() == 1
+        assert schedule.gap_lengths() == [4]
+
+    def test_power_cost(self):
+        schedule = self.make()
+        assert schedule.power_cost(alpha=2) == pytest.approx(3 + 2 + 2)
+        assert schedule.power_cost(alpha=10) == pytest.approx(3 + 10 + 4)
+
+    def test_validation_passes(self):
+        self.make().validate()
+
+    def test_validation_rejects_wrong_time(self):
+        instance = OneIntervalInstance.from_pairs([(0, 1)])
+        schedule = Schedule(instance=instance, assignment={0: 5})
+        with pytest.raises(InvalidScheduleError):
+            schedule.validate()
+
+    def test_validation_rejects_double_booking(self):
+        instance = OneIntervalInstance.from_pairs([(0, 3), (0, 3)])
+        schedule = Schedule(instance=instance, assignment={0: 1, 1: 1})
+        with pytest.raises(InvalidScheduleError):
+            schedule.validate()
+
+    def test_validation_rejects_incomplete_when_required(self):
+        instance = OneIntervalInstance.from_pairs([(0, 3), (0, 3)])
+        schedule = Schedule(instance=instance, assignment={0: 1})
+        with pytest.raises(InvalidScheduleError):
+            schedule.validate(require_complete=True)
+        schedule.validate(require_complete=False)
+
+    def test_validation_rejects_unknown_job(self):
+        instance = OneIntervalInstance.from_pairs([(0, 3)])
+        schedule = Schedule(instance=instance, assignment={7: 1})
+        with pytest.raises(InvalidScheduleError):
+            schedule.validate(require_complete=False)
+
+    def test_as_table_sorted_by_time(self):
+        rows = self.make().as_table()
+        assert [row[2] for row in rows] == [0, 1, 6]
+
+
+class TestMultiprocessorSchedule:
+    def make(self):
+        instance = MultiprocessorInstance.from_pairs(
+            [(0, 3), (0, 3), (2, 6), (5, 6)], num_processors=2
+        )
+        assignment = {0: (1, 0), 1: (2, 0), 2: (1, 2), 3: (1, 5)}
+        return MultiprocessorSchedule(instance=instance, assignment=assignment)
+
+    def test_per_processor_gaps(self):
+        schedule = self.make()
+        # processor 1 busy at 0, 2, 5 -> 2 gaps; processor 2 busy at 0 -> 0 gaps.
+        assert schedule.gaps_by_processor() == {1: 2, 2: 0}
+        assert schedule.num_gaps() == 2
+
+    def test_used_processors_and_profile(self):
+        schedule = self.make()
+        assert schedule.used_processors() == 2
+        assert schedule.occupancy_profile() == {0: 2, 2: 1, 5: 1}
+
+    def test_power_cost_sums_processors(self):
+        schedule = self.make()
+        expected = (3 + 2 + min(1, 2) + min(2, 2)) + (1 + 2)
+        assert schedule.power_cost(alpha=2) == pytest.approx(expected)
+
+    def test_staircase_never_increases_gaps(self):
+        schedule = self.make()
+        assert schedule.staircase().num_gaps() <= schedule.num_gaps()
+
+    def test_validation_rejects_bad_processor(self):
+        instance = MultiprocessorInstance.from_pairs([(0, 1)], num_processors=1)
+        schedule = MultiprocessorSchedule(instance=instance, assignment={0: (2, 0)})
+        with pytest.raises(InvalidScheduleError):
+            schedule.validate()
+
+    def test_validation_rejects_slot_collision(self):
+        instance = MultiprocessorInstance.from_pairs([(0, 1), (0, 1)], num_processors=1)
+        schedule = MultiprocessorSchedule(
+            instance=instance, assignment={0: (1, 0), 1: (1, 0)}
+        )
+        with pytest.raises(InvalidScheduleError):
+            schedule.validate()
+
+    def test_as_table(self):
+        rows = self.make().as_table()
+        assert rows[0][3] == 0 and rows[-1][3] == 5

@@ -1,0 +1,93 @@
+"""Unit tests for the set-cover substrate."""
+
+import pytest
+
+from repro.core.exceptions import InfeasibleInstanceError, InvalidInstanceError
+from repro.setcover import SetCoverInstance, exact_set_cover, greedy_set_cover
+
+
+class TestInstance:
+    def test_basic_properties(self):
+        instance = SetCoverInstance(universe=[0, 1, 2], sets=[[0, 1], [2], [1, 2]])
+        assert instance.num_elements == 3
+        assert instance.num_sets == 3
+        assert instance.max_set_size == 2
+        assert instance.is_coverable()
+
+    def test_rejects_empty_set(self):
+        with pytest.raises(InvalidInstanceError):
+            SetCoverInstance(universe=[0], sets=[[]])
+
+    def test_rejects_foreign_elements(self):
+        with pytest.raises(InvalidInstanceError):
+            SetCoverInstance(universe=[0], sets=[[0, 5]])
+
+    def test_is_cover(self):
+        instance = SetCoverInstance(universe=[0, 1, 2], sets=[[0, 1], [2]])
+        assert instance.is_cover([0, 1])
+        assert not instance.is_cover([0])
+
+    def test_uncoverable_instance(self):
+        instance = SetCoverInstance(universe=[0, 1], sets=[[0]])
+        assert not instance.is_coverable()
+
+    def test_coverage(self):
+        instance = SetCoverInstance(universe=[0, 1, 2], sets=[[0, 1], [2]])
+        assert instance.coverage([0]) == {0, 1}
+
+
+class TestGreedy:
+    def test_greedy_covers(self):
+        instance = SetCoverInstance(
+            universe=range(6), sets=[[0, 1, 2], [3, 4], [5], [0, 3, 5]]
+        )
+        chosen = greedy_set_cover(instance)
+        assert instance.is_cover(chosen)
+
+    def test_greedy_picks_largest_first(self):
+        instance = SetCoverInstance(universe=range(4), sets=[[0], [0, 1, 2, 3]])
+        assert greedy_set_cover(instance) == [1]
+
+    def test_greedy_raises_on_uncoverable(self):
+        instance = SetCoverInstance(universe=[0, 1], sets=[[0]])
+        with pytest.raises(InfeasibleInstanceError):
+            greedy_set_cover(instance)
+
+    def test_greedy_classic_log_gap_instance(self):
+        # The classical instance where greedy uses 3 sets but the optimum is 2.
+        universe = list(range(6))
+        sets = [[0, 1, 2, 3], [4, 5], [0, 2, 4], [1, 3, 5]]
+        instance = SetCoverInstance(universe=universe, sets=sets)
+        greedy = greedy_set_cover(instance)
+        exact = exact_set_cover(instance)
+        assert instance.is_cover(greedy)
+        assert len(exact) == 2
+        assert len(greedy) >= len(exact)
+
+
+class TestExact:
+    def test_exact_is_minimum(self):
+        instance = SetCoverInstance(
+            universe=range(5), sets=[[0, 1], [1, 2], [2, 3], [3, 4], [0, 2, 4]]
+        )
+        exact = exact_set_cover(instance)
+        assert instance.is_cover(exact)
+        # No two sets cover all five elements (the only 3-set leaves {1, 3}
+        # uncovered and no single set contains both), so the optimum is 3.
+        assert len(exact) == 3
+
+    def test_exact_raises_on_uncoverable(self):
+        instance = SetCoverInstance(universe=[0, 1], sets=[[1]])
+        with pytest.raises(InfeasibleInstanceError):
+            exact_set_cover(instance)
+
+    def test_exact_never_worse_than_greedy(self):
+        instance = SetCoverInstance(
+            universe=range(7),
+            sets=[[0, 1, 2], [2, 3, 4], [4, 5, 6], [0, 3, 6], [1, 5]],
+        )
+        assert len(exact_set_cover(instance)) <= len(greedy_set_cover(instance))
+
+    def test_single_set_cover(self):
+        instance = SetCoverInstance(universe=range(3), sets=[[0, 1, 2], [0]])
+        assert exact_set_cover(instance) == [0]

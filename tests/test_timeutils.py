@@ -1,0 +1,49 @@
+"""Unit tests for the candidate-time-column computation."""
+
+from repro import Job, MultiprocessorInstance, OneIntervalInstance
+from repro.core.timeutils import candidate_times, candidate_times_for_jobs
+
+
+class TestCandidateTimes:
+    def test_small_horizon_uses_every_time(self):
+        jobs = [Job(0, 3), Job(2, 6)]
+        assert candidate_times_for_jobs(jobs) == list(range(0, 7))
+
+    def test_empty_job_list(self):
+        assert candidate_times_for_jobs([]) == []
+
+    def test_full_horizon_flag(self):
+        jobs = [Job(0, 500)]
+        times = candidate_times_for_jobs(jobs, use_full_horizon=True)
+        assert times == list(range(0, 501))
+
+    def test_sparse_horizon_restricts_to_neighbourhoods(self):
+        jobs = [Job(0, 2), Job(1000, 1002)]
+        times = candidate_times_for_jobs(jobs)
+        assert 0 in times and 1002 in times
+        assert 500 not in times
+        # Within distance n of a release or a deadline.
+        n = len(jobs)
+        for t in times:
+            assert any(
+                job.release - n <= t <= job.release + n
+                or job.deadline - n <= t <= job.deadline + n
+                for job in jobs
+            )
+
+    def test_candidates_are_sorted_and_unique(self):
+        jobs = [Job(0, 100), Job(3, 120), Job(90, 200)]
+        times = candidate_times_for_jobs(jobs)
+        assert times == sorted(set(times))
+
+    def test_instance_wrappers(self):
+        one = OneIntervalInstance.from_pairs([(0, 4), (2, 5)])
+        multi = MultiprocessorInstance.from_pairs([(0, 4), (2, 5)], num_processors=2)
+        assert candidate_times(one) == candidate_times(multi)
+
+    def test_candidates_include_all_releases_and_deadlines(self):
+        jobs = [Job(0, 3), Job(400, 405), Job(800, 808)]
+        times = set(candidate_times_for_jobs(jobs))
+        for job in jobs:
+            assert job.release in times
+            assert job.deadline in times
