@@ -1,31 +1,35 @@
-"""E2 — Theorem 2: exact multiprocessor power DP (optimality + alpha sweep)."""
+"""E2 — Theorem 2: exact multiprocessor power DP (optimality + alpha sweep).
+
+All calls go through the ``repro.api`` façade.
+"""
 
 import pytest
 
-from repro.core.brute_force import brute_force_power_multiproc
-from repro.core.multiproc_power_dp import solve_multiprocessor_power
+from repro.api import Problem, solve
 
 
 @pytest.mark.parametrize("alpha", [0.5, 2.0, 8.0])
 def test_power_dp_matches_brute_force(benchmark, small_multiproc_instance, alpha):
-    solution = benchmark(solve_multiprocessor_power, small_multiproc_instance, alpha)
-    brute, _ = brute_force_power_multiproc(small_multiproc_instance, alpha=alpha)
-    assert solution.power == pytest.approx(brute)
+    problem = Problem(objective="power", instance=small_multiproc_instance, alpha=alpha)
+    result = benchmark(solve, problem)
+    assert result.solver == "power-dp"
+    brute = solve(problem, solver="brute-force-power")
+    assert result.value == pytest.approx(brute.value)
 
 
 def test_power_dp_medium_instance(benchmark, medium_multiproc_instance):
-    solution = benchmark(solve_multiprocessor_power, medium_multiproc_instance, 2.0)
-    schedule = solution.require_schedule()
-    assert schedule.power_cost(2.0) == pytest.approx(solution.power)
+    problem = Problem(objective="power", instance=medium_multiproc_instance, alpha=2.0)
+    result = benchmark(solve, problem)
+    schedule = result.require_schedule()
+    assert schedule.power_cost(2.0) == pytest.approx(result.value)
 
 
 def test_power_dp_alpha_monotonicity(benchmark, bursty_instance):
     def sweep():
-        powers = [
-            solve_multiprocessor_power(bursty_instance, alpha=a).power
+        return [
+            solve(Problem(objective="power", instance=bursty_instance, alpha=a)).value
             for a in (0.5, 1.0, 2.0, 4.0)
         ]
-        return powers
 
     powers = benchmark(sweep)
     assert powers == sorted(powers)

@@ -1,9 +1,12 @@
-"""E3 — Theorem 3: multi-interval power approximation (ratio + runtime)."""
+"""E3 — Theorem 3: multi-interval power approximation (ratio + runtime).
+
+All calls go through the ``repro.api`` façade; the approximation algorithm
+is selected by name, the brute-force oracle provides the optimum.
+"""
 
 import pytest
 
-from repro.core.brute_force import brute_force_power_multi_interval
-from repro.core.power_approx import approximate_power_schedule
+from repro.api import Problem, solve
 from repro.generators import random_multi_interval_instance
 
 
@@ -12,18 +15,23 @@ def test_approximation_within_theorem_bound(benchmark, alpha):
     instance = random_multi_interval_instance(
         num_jobs=6, horizon=24, intervals_per_job=2, interval_length=2, seed=17
     )
-    result = benchmark(approximate_power_schedule, instance, alpha)
-    optimum, _ = brute_force_power_multi_interval(instance, alpha=alpha)
-    assert result.power <= (1.0 + (2.0 / 3.0) * alpha) * optimum + 1e-9
+    problem = Problem(objective="power", instance=instance, alpha=alpha)
+    result = benchmark(solve, problem, "power-approx")
+    optimum = solve(problem, solver="brute-force-power").value
+    assert result.value <= (1.0 + (2.0 / 3.0) * alpha) * optimum + 1e-9
 
 
 def test_approximation_medium_workload(benchmark, medium_multi_interval_instance):
-    result = benchmark(approximate_power_schedule, medium_multi_interval_instance, 3.0)
-    result.schedule.validate()
+    problem = Problem(
+        objective="power", instance=medium_multi_interval_instance, alpha=3.0
+    )
+    result = benchmark(solve, problem, "power-approx")
+    result.require_schedule().validate()
     n = medium_multi_interval_instance.num_jobs
-    assert result.power >= n + 3.0  # trivial lower bound
+    assert result.value >= n + 3.0  # trivial lower bound
 
 
 def test_approximation_sensor_workload(benchmark, sensor_instance):
-    result = benchmark(approximate_power_schedule, sensor_instance, 5.0)
-    assert result.schedule.is_complete()
+    problem = Problem(objective="power", instance=sensor_instance, alpha=5.0)
+    result = benchmark(solve, problem, "power-approx")
+    assert result.require_schedule().is_complete()

@@ -1,20 +1,26 @@
-"""E4 — greedy 3-approximation [FHKN06] vs the exact DP on one processor."""
+"""E4 — greedy 3-approximation [FHKN06] vs the exact DP on one processor.
+
+All calls go through the ``repro.api`` façade: the greedy baseline is
+selected by name, the exact DP by automatic capability dispatch.
+"""
 
 import pytest
 
-from repro.core.baptiste import minimize_gaps_single_processor
-from repro.core.greedy_gap import greedy_gap_schedule
+from repro.api import Problem, solve
 from repro.generators import random_one_interval_instance
 
 
 def test_greedy_runtime(benchmark, medium_one_interval_instance):
-    result = benchmark(greedy_gap_schedule, medium_one_interval_instance)
+    problem = Problem(objective="gaps", instance=medium_one_interval_instance)
+    result = benchmark(solve, problem, "greedy-gap")
     assert result.feasible
 
 
 def test_exact_runtime(benchmark, medium_one_interval_instance):
-    result = benchmark(minimize_gaps_single_processor, medium_one_interval_instance)
+    problem = Problem(objective="gaps", instance=medium_one_interval_instance)
+    result = benchmark(solve, problem)
     assert result.feasible
+    assert result.solver == "gap-dp"
 
 
 @pytest.mark.parametrize("seed", [1, 2, 3])
@@ -22,9 +28,10 @@ def test_greedy_within_three_times_optimum(benchmark, seed):
     instance = random_one_interval_instance(
         num_jobs=8, horizon=22, max_window=6, seed=seed
     )
+    problem = Problem(objective="gaps", instance=instance)
 
     def both():
-        return greedy_gap_schedule(instance), minimize_gaps_single_processor(instance)
+        return solve(problem, solver="greedy-gap"), solve(problem)
 
     greedy, exact = benchmark(both)
-    assert greedy.num_gaps <= max(3 * exact.num_gaps, 1)
+    assert greedy.value <= max(3 * exact.value, 1)

@@ -1,19 +1,24 @@
-"""E8 — Theorem 11: greedy throughput under a gap budget."""
+"""E8 — Theorem 11: greedy throughput under a gap budget.
+
+All calls go through the ``repro.api`` façade.
+"""
 
 import math
 
 import pytest
 
-from repro.core.brute_force import brute_force_throughput
-from repro.core.throughput import greedy_throughput_schedule
+from repro.api import Problem, solve
 from repro.generators import random_multi_interval_instance
 
 
 @pytest.mark.parametrize("budget", [1, 2, 4])
 def test_greedy_throughput_runtime(benchmark, medium_multi_interval_instance, budget):
-    result = benchmark(greedy_throughput_schedule, medium_multi_interval_instance, budget)
-    result.schedule.validate(require_complete=False)
-    assert result.num_internal_gaps <= max(0, budget - 1)
+    problem = Problem(
+        objective="throughput", instance=medium_multi_interval_instance, max_gaps=budget
+    )
+    result = benchmark(solve, problem)
+    result.require_schedule().validate(require_complete=False)
+    assert result.extra["num_internal_gaps"] <= max(0, budget - 1)
 
 
 @pytest.mark.parametrize("budget", [1, 2])
@@ -21,21 +26,24 @@ def test_greedy_against_optimum(benchmark, budget):
     instance = random_multi_interval_instance(
         num_jobs=7, horizon=21, intervals_per_job=2, interval_length=2, seed=budget
     )
+    problem = Problem(objective="throughput", instance=instance, max_gaps=budget)
 
     def both():
-        greedy = greedy_throughput_schedule(instance, max_gaps=budget)
-        optimum, _ = brute_force_throughput(instance, max_gaps=budget)
+        greedy = solve(problem)
+        optimum = solve(problem, solver="brute-force-throughput").value
         return greedy, optimum
 
     greedy, optimum = benchmark(both)
     n = instance.num_jobs
-    assert greedy.num_scheduled * (2 * math.sqrt(n) + 1) >= optimum
+    assert greedy.value * (2 * math.sqrt(n) + 1) >= optimum
 
 
 def test_budget_sweep_monotone(benchmark, sensor_instance):
     def sweep():
         return [
-            greedy_throughput_schedule(sensor_instance, max_gaps=k).num_scheduled
+            solve(
+                Problem(objective="throughput", instance=sensor_instance, max_gaps=k)
+            ).value
             for k in range(1, 6)
         ]
 

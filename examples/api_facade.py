@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""The unified solve façade: one API for every algorithm of the paper.
+
+This example shows the four pieces of :mod:`repro.api` working together:
+
+1. **Problem spec** — one validated object for all objectives and
+   instance types;
+2. **solver registry** — automatic capability dispatch (exact preferred),
+   with baselines selectable by name;
+3. **batch execution** — a generated workload fanned over a process pool
+   with deterministic, input-ordered results;
+4. **JSON round-trip** — wire-ready serialization of problems and results.
+
+Run with ``python examples/api_facade.py``.
+"""
+
+from repro.api import (
+    MultiIntervalInstance,
+    MultiprocessorInstance,
+    OneIntervalInstance,
+    Problem,
+    from_json,
+    list_solvers,
+    solve,
+    solve_batch,
+    to_json,
+)
+from repro.generators import random_one_interval_instance
+
+
+def dispatch_demo() -> None:
+    """Automatic dispatch picks the exact DP; baselines are opt-in by name."""
+    print("=== capability dispatch ===")
+    instance = OneIntervalInstance.from_pairs([(0, 3), (1, 5), (2, 6), (10, 13)])
+    problem = Problem(objective="gaps", instance=instance)
+
+    exact = solve(problem)  # auto -> exact Theorem 1 DP
+    greedy = solve(problem, solver="greedy-gap")  # [FHKN06] baseline, by name
+    print(f"auto      -> {exact.solver}: {exact.status}, {exact.value} gaps")
+    print(f"baseline  -> {greedy.solver}: {greedy.status}, {greedy.value} gaps")
+    print()
+
+
+def objectives_demo() -> None:
+    """All four paper objectives through the same entry point."""
+    print("=== one surface, four theorems ===")
+    mp = MultiprocessorInstance.from_pairs(
+        [(0, 1), (0, 1), (1, 2), (5, 6), (5, 6)], num_processors=2
+    )
+    mi = MultiIntervalInstance.from_time_lists([[0, 1], [1, 2], [8, 9], [9, 10]])
+
+    for problem, label in [
+        (Problem(objective="gaps", instance=mp), "Thm 1  gaps"),
+        (Problem(objective="power", instance=mp, alpha=2.0), "Thm 2  power"),
+        (Problem(objective="power", instance=mi, alpha=2.0), "Thm 3  power approx"),
+        (Problem(objective="throughput", instance=mi, max_gaps=2), "Thm 11 throughput"),
+    ]:
+        result = solve(problem)
+        print(f"{label:<20} {result.solver:<18} value={result.value}")
+    print()
+
+
+def batch_demo() -> None:
+    """Generators + solve_batch is the throughput path."""
+    print("=== batch execution ===")
+    problems = [
+        Problem(
+            objective="gaps",
+            instance=random_one_interval_instance(
+                num_jobs=6, horizon=18, max_window=5, seed=seed
+            ),
+        )
+        for seed in range(12)
+    ]
+    results = solve_batch(problems, workers=4)
+    total_gaps = sum(result.value for result in results)
+    print(f"solved {len(results)} problems on 4 workers; total gaps: {total_gaps}")
+    print()
+
+
+def json_demo() -> None:
+    """Problems and results serialize to wire-ready JSON and back."""
+    print("=== JSON round-trip ===")
+    instance = OneIntervalInstance.from_pairs([(0, 2), (1, 3)])
+    problem = Problem(objective="gaps", instance=instance)
+    wire = to_json(problem)
+    print(f"problem on the wire: {wire}")
+    result = solve(from_json(wire))
+    assert from_json(to_json(result)) == result
+    print(f"result round-trips; value={result.value}, solver={result.solver}")
+    print()
+
+
+def registry_demo() -> None:
+    print("=== registered solvers ===")
+    for spec in list_solvers():
+        print(f"  {spec.name:<24} {spec.objective:<11} {spec.kind}")
+
+
+if __name__ == "__main__":
+    dispatch_demo()
+    objectives_demo()
+    batch_demo()
+    json_demo()
+    registry_demo()

@@ -11,9 +11,14 @@ Hajiaghayi, Sayedi-Roshkhar and Zadimoghaddam (SPAA 2007):
 * the substrates they rely on (bipartite matching, set cover, set packing),
 * instance generators, a power simulator, baselines, and a benchmark harness.
 
-Most users only need the top-level re-exports below; see ``README.md`` for a
-quickstart and ``DESIGN.md`` for the full system inventory.
+New code should use the unified façade in :mod:`repro.api`
+(``Problem`` / ``solve`` / ``solve_batch`` / JSON round-trip); the
+per-algorithm entry points re-exported below remain as thin deprecated
+shims for existing callers.  See ``README.md`` for a quickstart and
+``DESIGN.md`` for the full system inventory.
 """
+
+import warnings as _warnings
 
 from .core import (
     BaptisteGapResult,
@@ -43,15 +48,85 @@ from .core import (
     is_feasible,
     is_feasible_multiproc,
     jobs_from_pairs,
-    minimize_gaps_single_processor,
-    minimize_power_single_processor,
     power_cost_of_busy_times,
-    solve_multiprocessor_gap,
-    solve_multiprocessor_power,
     spans_of_busy_times,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+
+def _deprecated(old: str, new: str) -> None:
+    _warnings.warn(
+        f"repro.{old} is deprecated; use repro.api: {new}",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def solve_multiprocessor_gap(instance, use_full_horizon=False):
+    """Deprecated shim; use ``repro.api.solve(Problem(objective="gaps", ...))``."""
+    _deprecated(
+        "solve_multiprocessor_gap", 'solve(Problem(objective="gaps", instance=...))'
+    )
+    from .core.multiproc_gap_dp import solve_multiprocessor_gap as _impl
+
+    return _impl(instance, use_full_horizon=use_full_horizon)
+
+
+def solve_multiprocessor_power(instance, alpha, use_full_horizon=False):
+    """Deprecated shim; use ``repro.api.solve(Problem(objective="power", ...))``."""
+    _deprecated(
+        "solve_multiprocessor_power",
+        'solve(Problem(objective="power", instance=..., alpha=...))',
+    )
+    from .core.multiproc_power_dp import solve_multiprocessor_power as _impl
+
+    return _impl(instance, alpha, use_full_horizon=use_full_horizon)
+
+
+def minimize_gaps_single_processor(instance, use_full_horizon=False):
+    """Deprecated shim; use ``repro.api.solve(Problem(objective="gaps", ...))``."""
+    _deprecated(
+        "minimize_gaps_single_processor",
+        'solve(Problem(objective="gaps", instance=...))',
+    )
+    from .core.baptiste import minimize_gaps_single_processor as _impl
+
+    return _impl(instance, use_full_horizon=use_full_horizon)
+
+
+def minimize_power_single_processor(instance, alpha, use_full_horizon=False):
+    """Deprecated shim; use ``repro.api.solve(Problem(objective="power", ...))``."""
+    _deprecated(
+        "minimize_power_single_processor",
+        'solve(Problem(objective="power", instance=..., alpha=...))',
+    )
+    from .core.baptiste import minimize_power_single_processor as _impl
+
+    return _impl(instance, alpha, use_full_horizon=use_full_horizon)
+
+
+def approximate_power_schedule(instance, alpha, k=2, swap_size=2):
+    """Deprecated shim; use ``repro.api.solve(..., solver="power-approx")``."""
+    _deprecated(
+        "approximate_power_schedule",
+        'solve(Problem(objective="power", instance=..., alpha=...), '
+        'solver="power-approx")',
+    )
+    from .core.power_approx import approximate_power_schedule as _impl
+
+    return _impl(instance, alpha, k=k, swap_size=swap_size)
+
+
+def greedy_throughput_schedule(instance, max_gaps):
+    """Deprecated shim; use ``repro.api.solve(Problem(objective="throughput", ...))``."""
+    _deprecated(
+        "greedy_throughput_schedule",
+        'solve(Problem(objective="throughput", instance=..., max_gaps=...))',
+    )
+    from .core.throughput import greedy_throughput_schedule as _impl
+
+    return _impl(instance, max_gaps)
 
 __all__ = [
     "__version__",
@@ -88,4 +163,6 @@ __all__ = [
     "MultiprocessorPowerSolver",
     "PowerSolution",
     "solve_multiprocessor_power",
+    "approximate_power_schedule",
+    "greedy_throughput_schedule",
 ]

@@ -1,0 +1,97 @@
+"""``repro.api`` — the unified solve façade.
+
+One stable surface in front of every algorithm of the reproduction:
+
+* :class:`Problem` — objective + instance + parameters, validated in one
+  place (:mod:`repro.api.problem`);
+* :func:`solve` and the solver registry — capability-based dispatch to the
+  exact DPs, the approximation algorithms, and the baselines
+  (:mod:`repro.api.registry`, :mod:`repro.api.solvers`);
+* :func:`solve_batch` — deterministic parallel fan-out over a
+  ``multiprocessing`` pool (:mod:`repro.api.batch`);
+* :func:`to_json` / :func:`from_json` — wire-ready round-trip for
+  instances, problems, schedules and results
+  (:mod:`repro.api.serialization`).
+
+Quickstart::
+
+    from repro.api import OneIntervalInstance, Problem, solve
+
+    instance = OneIntervalInstance.from_pairs([(0, 3), (1, 5), (10, 13)])
+    result = solve(Problem(objective="gaps", instance=instance))
+    print(result.status, result.value, result.solver)
+
+The instance and job classes are re-exported here so façade users never
+need to import from ``repro.core`` directly.
+"""
+
+from ..core.exceptions import (
+    InfeasibleInstanceError,
+    InvalidInstanceError,
+    InvalidScheduleError,
+    ReproError,
+    SolverError,
+)
+from ..core.jobs import (
+    Job,
+    MultiIntervalInstance,
+    MultiIntervalJob,
+    MultiprocessorInstance,
+    OneIntervalInstance,
+    jobs_from_pairs,
+)
+from ..core.schedule import MultiprocessorSchedule, Schedule
+from .problem import OBJECTIVES, InstanceLike, Problem
+from .result import STATUSES, SolveResult
+from .registry import (
+    SolverSpec,
+    capable_solvers,
+    get_solver,
+    list_solvers,
+    register_solver,
+    select_solver,
+    solve,
+)
+from . import solvers as _builtin_solvers  # noqa: F401  (registers the built-ins)
+from .batch import solve_batch
+from .serialization import from_dict, from_json, to_dict, to_json
+
+__all__ = [
+    # problem spec
+    "OBJECTIVES",
+    "InstanceLike",
+    "Problem",
+    # result envelope
+    "STATUSES",
+    "SolveResult",
+    # registry + dispatch
+    "SolverSpec",
+    "register_solver",
+    "get_solver",
+    "list_solvers",
+    "capable_solvers",
+    "select_solver",
+    "solve",
+    # batch execution
+    "solve_batch",
+    # JSON round-trip
+    "to_dict",
+    "from_dict",
+    "to_json",
+    "from_json",
+    # data model re-exports
+    "Job",
+    "MultiIntervalJob",
+    "OneIntervalInstance",
+    "MultiprocessorInstance",
+    "MultiIntervalInstance",
+    "jobs_from_pairs",
+    "Schedule",
+    "MultiprocessorSchedule",
+    # exceptions
+    "ReproError",
+    "InvalidInstanceError",
+    "InfeasibleInstanceError",
+    "InvalidScheduleError",
+    "SolverError",
+]

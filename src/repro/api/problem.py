@@ -1,0 +1,108 @@
+"""The problem specification of the unified solve façade.
+
+A :class:`Problem` pairs one of the paper's three objectives with an
+instance and the objective's parameters:
+
+* ``"gaps"`` — minimize the number of gaps (Theorem 1 / Baptiste's
+  problem); no parameters.
+* ``"power"`` — minimize power with wake-up cost ``alpha`` (Theorems 2
+  and 3); requires ``alpha >= 0``.
+* ``"throughput"`` — maximize the number of scheduled jobs under a gap
+  budget (Theorem 11); requires ``max_gaps >= 0``.
+
+All input validation of the façade lives here, so every solver adapter and
+the batch executor can assume a well-formed problem.  Problems are frozen
+value objects: they hash, compare and pickle, which the batch executor and
+the JSON layer rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from ..core.exceptions import InvalidInstanceError
+from ..core.jobs import (
+    MultiIntervalInstance,
+    MultiprocessorInstance,
+    OneIntervalInstance,
+)
+
+__all__ = ["OBJECTIVES", "InstanceLike", "Problem"]
+
+#: The objectives of the façade, in the order the paper introduces them.
+OBJECTIVES = ("gaps", "power", "throughput")
+
+InstanceLike = Union[OneIntervalInstance, MultiprocessorInstance, MultiIntervalInstance]
+
+_INSTANCE_TYPES = (OneIntervalInstance, MultiprocessorInstance, MultiIntervalInstance)
+
+
+@dataclass(frozen=True)
+class Problem:
+    """One solve request: an objective, an instance, and the objective's parameters.
+
+    Parameters
+    ----------
+    objective:
+        One of :data:`OBJECTIVES`.
+    instance:
+        A :class:`~repro.core.jobs.OneIntervalInstance`,
+        :class:`~repro.core.jobs.MultiprocessorInstance` or
+        :class:`~repro.core.jobs.MultiIntervalInstance`.
+    alpha:
+        Wake-up cost; required for (and only allowed with) the ``"power"``
+        objective.
+    max_gaps:
+        Gap budget; required for (and only allowed with) the
+        ``"throughput"`` objective.
+    """
+
+    objective: str
+    instance: InstanceLike
+    alpha: Optional[float] = None
+    max_gaps: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.objective not in OBJECTIVES:
+            raise InvalidInstanceError(
+                f"unknown objective {self.objective!r}; expected one of {OBJECTIVES}"
+            )
+        if not isinstance(self.instance, _INSTANCE_TYPES):
+            raise InvalidInstanceError(
+                f"instance must be one of {[t.__name__ for t in _INSTANCE_TYPES]}, "
+                f"got {type(self.instance).__name__}"
+            )
+        if self.objective == "power":
+            if self.alpha is None:
+                raise InvalidInstanceError("the 'power' objective requires alpha")
+            object.__setattr__(self, "alpha", float(self.alpha))
+            if self.alpha < 0:
+                raise InvalidInstanceError(
+                    f"alpha must be non-negative, got {self.alpha}"
+                )
+        elif self.alpha is not None:
+            raise InvalidInstanceError(
+                f"alpha is only meaningful for the 'power' objective, "
+                f"not {self.objective!r}"
+            )
+        if self.objective == "throughput":
+            if self.max_gaps is None:
+                raise InvalidInstanceError(
+                    "the 'throughput' objective requires max_gaps"
+                )
+            object.__setattr__(self, "max_gaps", int(self.max_gaps))
+            if self.max_gaps < 0:
+                raise InvalidInstanceError(
+                    f"max_gaps must be non-negative, got {self.max_gaps}"
+                )
+        elif self.max_gaps is not None:
+            raise InvalidInstanceError(
+                f"max_gaps is only meaningful for the 'throughput' objective, "
+                f"not {self.objective!r}"
+            )
+
+    @property
+    def instance_type(self) -> type:
+        """The concrete instance class (used for capability dispatch)."""
+        return type(self.instance)

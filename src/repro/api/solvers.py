@@ -1,0 +1,300 @@
+"""Built-in solver registrations: every algorithm of the paper plus baselines.
+
+Each adapter translates between the façade's :class:`~repro.api.problem.Problem`
+/ :class:`~repro.api.result.SolveResult` types and one underlying algorithm:
+
+========================  ==========  ===========  ======================================
+registry name             objective   kind         algorithm
+========================  ==========  ===========  ======================================
+``gap-dp``                gaps        exact        Theorem 1 interval DP (Baptiste at p=1)
+``power-dp``              power       exact        Theorem 2 interval DP
+``power-approx``          power       approximate  Theorem 3 set-packing approximation
+``throughput-greedy``     throughput  approximate  Theorem 11 greedy
+``greedy-gap``            gaps        baseline     [FHKN06] greedy 3-approximation
+``online-edf``            gaps        baseline     work-conserving online EDF
+``brute-force-gaps``      gaps        baseline     exponential oracle (small n only)
+``brute-force-power``     power       baseline     exponential oracle (small n only)
+``brute-force-throughput``  throughput  baseline   exponential oracle (small n only)
+========================  ==========  ===========  ======================================
+
+The brute-force oracles return exactly optimal values (their results carry
+``status="optimal"``) but are registered as baselines so that automatic
+dispatch never prefers an exponential enumeration over the polynomial DPs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+from ..core.baptiste import (
+    minimize_gaps_single_processor,
+    minimize_power_single_processor,
+)
+from ..core.brute_force import (
+    brute_force_gap_multiproc,
+    brute_force_gap_single,
+    brute_force_power_multi_interval,
+    brute_force_power_multiproc,
+    brute_force_throughput,
+)
+from ..core.exceptions import InfeasibleInstanceError
+from ..core.greedy_gap import greedy_gap_schedule
+from ..core.jobs import (
+    MultiIntervalInstance,
+    MultiprocessorInstance,
+    OneIntervalInstance,
+)
+from ..core.multiproc_gap_dp import solve_multiprocessor_gap
+from ..core.multiproc_power_dp import solve_multiprocessor_power
+from ..core.online import online_gap_schedule
+from ..core.power_approx import approximate_power_schedule
+from ..core.throughput import greedy_throughput_schedule
+from .problem import Problem
+from .registry import register_solver
+from .result import SolveResult
+
+__all__: List[str] = []
+
+
+def _infeasible(problem: Problem) -> SolveResult:
+    return SolveResult(
+        status="infeasible",
+        objective=problem.objective,
+        value=None,
+        schedule=None,
+    )
+
+
+@register_solver(
+    "gap-dp",
+    objective="gaps",
+    kind="exact",
+    instance_types=(OneIntervalInstance, MultiprocessorInstance),
+    description="Theorem 1 exact interval DP (Baptiste's algorithm at p = 1)",
+)
+def _solve_gap_dp(problem: Problem) -> SolveResult:
+    instance = problem.instance
+    if isinstance(instance, OneIntervalInstance):
+        single = minimize_gaps_single_processor(instance)
+        if not single.feasible:
+            return _infeasible(problem)
+        return SolveResult(
+            status="optimal",
+            objective="gaps",
+            value=single.num_gaps,
+            schedule=single.schedule,
+            guarantee_factor=1.0,
+        )
+    solution = solve_multiprocessor_gap(instance)
+    if not solution.feasible:
+        return _infeasible(problem)
+    return SolveResult(
+        status="optimal",
+        objective="gaps",
+        value=solution.num_gaps,
+        schedule=solution.schedule,
+        guarantee_factor=1.0,
+        extra={"num_processors": instance.num_processors},
+    )
+
+
+@register_solver(
+    "power-dp",
+    objective="power",
+    kind="exact",
+    instance_types=(OneIntervalInstance, MultiprocessorInstance),
+    description="Theorem 2 exact interval DP for power minimization",
+)
+def _solve_power_dp(problem: Problem) -> SolveResult:
+    instance = problem.instance
+    alpha = problem.alpha
+    if isinstance(instance, OneIntervalInstance):
+        single = minimize_power_single_processor(instance, alpha=alpha)
+        if not single.feasible:
+            return _infeasible(problem)
+        return SolveResult(
+            status="optimal",
+            objective="power",
+            value=single.power,
+            schedule=single.schedule,
+            guarantee_factor=1.0,
+            extra={"alpha": alpha},
+        )
+    solution = solve_multiprocessor_power(instance, alpha=alpha)
+    if not solution.feasible:
+        return _infeasible(problem)
+    return SolveResult(
+        status="optimal",
+        objective="power",
+        value=solution.power,
+        schedule=solution.schedule,
+        guarantee_factor=1.0,
+        extra={"alpha": alpha, "num_processors": instance.num_processors},
+    )
+
+
+@register_solver(
+    "power-approx",
+    objective="power",
+    kind="approximate",
+    instance_types=(MultiIntervalInstance,),
+    description="Theorem 3 (1 + (2/3)alpha)-approximation via set packing",
+)
+def _solve_power_approx(problem: Problem) -> SolveResult:
+    try:
+        approx = approximate_power_schedule(problem.instance, alpha=problem.alpha)
+    except InfeasibleInstanceError:
+        return _infeasible(problem)
+    return SolveResult(
+        status="approximate",
+        objective="power",
+        value=approx.power,
+        schedule=approx.schedule,
+        guarantee_factor=approx.guarantee_factor,
+        extra={
+            "alpha": approx.alpha,
+            "k": approx.k,
+            "residue": approx.residue,
+            "packed_jobs": approx.packed_jobs,
+            "num_gaps": approx.num_gaps,
+        },
+    )
+
+
+@register_solver(
+    "throughput-greedy",
+    objective="throughput",
+    kind="approximate",
+    instance_types=(MultiIntervalInstance,),
+    description="Theorem 11 greedy O(sqrt(n))-approximation under a gap budget",
+)
+def _solve_throughput_greedy(problem: Problem) -> SolveResult:
+    greedy = greedy_throughput_schedule(problem.instance, max_gaps=problem.max_gaps)
+    n = problem.instance.num_jobs
+    return SolveResult(
+        status="approximate",
+        objective="throughput",
+        value=greedy.num_scheduled,
+        schedule=greedy.schedule,
+        guarantee_factor=2.0 * math.sqrt(n) + 1.0 if n else 1.0,
+        extra={
+            "max_gaps": greedy.max_gaps,
+            "num_internal_gaps": greedy.num_internal_gaps,
+            "working_intervals": [
+                {"start": w.start, "end": w.end, "jobs": list(w.jobs)}
+                for w in greedy.working_intervals
+            ],
+        },
+    )
+
+
+@register_solver(
+    "greedy-gap",
+    objective="gaps",
+    kind="baseline",
+    instance_types=(OneIntervalInstance,),
+    description="[FHKN06] greedy 3-approximation for single-processor gaps",
+)
+def _solve_greedy_gap(problem: Problem) -> SolveResult:
+    greedy = greedy_gap_schedule(problem.instance)
+    if not greedy.feasible:
+        return _infeasible(problem)
+    return SolveResult(
+        status="approximate",
+        objective="gaps",
+        value=greedy.num_gaps,
+        schedule=greedy.schedule,
+        guarantee_factor=3.0,
+        extra={
+            "removed_intervals": [list(pair) for pair in greedy.removed_intervals]
+        },
+    )
+
+
+@register_solver(
+    "online-edf",
+    objective="gaps",
+    kind="baseline",
+    instance_types=(OneIntervalInstance,),
+    description="work-conserving online EDF (the only feasibility-safe online policy)",
+)
+def _solve_online_edf(problem: Problem) -> SolveResult:
+    try:
+        schedule = online_gap_schedule(problem.instance)
+    except InfeasibleInstanceError:
+        return _infeasible(problem)
+    return SolveResult(
+        status="approximate",
+        objective="gaps",
+        value=schedule.num_gaps(),
+        schedule=schedule,
+    )
+
+
+@register_solver(
+    "brute-force-gaps",
+    objective="gaps",
+    kind="baseline",
+    instance_types=(OneIntervalInstance, MultiprocessorInstance, MultiIntervalInstance),
+    description="exponential enumeration oracle for gap minimization (small n)",
+)
+def _solve_brute_force_gaps(problem: Problem) -> SolveResult:
+    instance = problem.instance
+    if isinstance(instance, MultiprocessorInstance):
+        value, schedule = brute_force_gap_multiproc(instance)
+    else:
+        value, schedule = brute_force_gap_single(instance)
+    if value is None:
+        return _infeasible(problem)
+    return SolveResult(
+        status="optimal",
+        objective="gaps",
+        value=value,
+        schedule=schedule,
+        guarantee_factor=1.0,
+    )
+
+
+@register_solver(
+    "brute-force-power",
+    objective="power",
+    kind="baseline",
+    instance_types=(OneIntervalInstance, MultiprocessorInstance, MultiIntervalInstance),
+    description="exponential enumeration oracle for power minimization (small n)",
+)
+def _solve_brute_force_power(problem: Problem) -> SolveResult:
+    instance = problem.instance
+    if isinstance(instance, MultiprocessorInstance):
+        value, schedule = brute_force_power_multiproc(instance, alpha=problem.alpha)
+    else:
+        value, schedule = brute_force_power_multi_interval(instance, alpha=problem.alpha)
+    if value is None:
+        return _infeasible(problem)
+    return SolveResult(
+        status="optimal",
+        objective="power",
+        value=value,
+        schedule=schedule,
+        guarantee_factor=1.0,
+        extra={"alpha": problem.alpha},
+    )
+
+
+@register_solver(
+    "brute-force-throughput",
+    objective="throughput",
+    kind="baseline",
+    instance_types=(MultiIntervalInstance,),
+    description="exponential enumeration oracle for throughput under a gap budget",
+)
+def _solve_brute_force_throughput(problem: Problem) -> SolveResult:
+    value, schedule = brute_force_throughput(problem.instance, max_gaps=problem.max_gaps)
+    return SolveResult(
+        status="optimal",
+        objective="throughput",
+        value=value,
+        schedule=schedule,
+        guarantee_factor=1.0,
+        extra={"max_gaps": problem.max_gaps},
+    )

@@ -2,6 +2,12 @@
 
 Sub-commands
 ------------
+``solve``
+    The unified façade entry point: read an instance (or a full problem)
+    from a JSON file, pick a solver from the registry, print the result as
+    text or JSON.
+``list-solvers``
+    Show every registered solver with its capabilities.
 ``solve-gap``
     Solve a one-interval multiprocessor instance given as ``release,deadline``
     pairs and print the optimal schedule and gap count (Theorem 1).
@@ -15,38 +21,52 @@ Sub-commands
 ``experiment``
     Regenerate one experiment table (or all of them) from DESIGN.md.
 
-The CLI is intentionally small: it exists so the examples in the README can
-be reproduced without writing Python, and so the experiment harness can be
-invoked from shell scripts.
+All solving goes through :mod:`repro.api`; this module never imports a
+solver implementation directly.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
-from .analysis.experiments import ALL_EXPERIMENTS, run_all_experiments, run_experiment
+from . import __version__
+from .analysis.experiments import run_all_experiments, run_experiment
 from .analysis.reporting import format_table, render_tables
-from .core.jobs import MultiIntervalInstance, MultiprocessorInstance
-from .core.multiproc_gap_dp import solve_multiprocessor_gap
-from .core.multiproc_power_dp import solve_multiprocessor_power
-from .core.power_approx import approximate_power_schedule
-from .core.throughput import greedy_throughput_schedule
+from .api import (
+    MultiIntervalInstance,
+    MultiprocessorInstance,
+    Problem,
+    ReproError,
+    SolveResult,
+    from_json,
+    list_solvers,
+    solve,
+    to_json,
+)
 
 __all__ = ["main", "build_parser"]
 
 
-def _parse_pairs(specs: Sequence[str]) -> List[tuple]:
-    pairs = []
-    for spec in specs:
-        parts = spec.split(",")
-        if len(parts) != 2:
-            raise argparse.ArgumentTypeError(
-                f"job {spec!r} is not of the form release,deadline"
-            )
-        pairs.append((int(parts[0]), int(parts[1])))
-    return pairs
+def _parse_pair(spec: str) -> Tuple[int, int]:
+    """``type=`` callback turning ``release,deadline`` into an int pair.
+
+    Raising :class:`argparse.ArgumentTypeError` from inside a ``type=``
+    callback makes argparse print a usage error and exit with code 2
+    instead of letting a traceback escape.
+    """
+    parts = spec.split(",")
+    if len(parts) != 2:
+        raise argparse.ArgumentTypeError(
+            f"job {spec!r} is not of the form release,deadline"
+        )
+    try:
+        return (int(parts[0]), int(parts[1]))
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"job {spec!r} must contain two integers, as in '0,5'"
+        ) from None
 
 
 def _parse_time_lists(spec: str) -> List[List[int]]:
@@ -65,14 +85,50 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-sched",
         description="Gap and power scheduling (SPAA 2007 reproduction)",
     )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    unified = sub.add_parser(
+        "solve", help="solve a JSON instance/problem through the repro.api façade"
+    )
+    unified.add_argument(
+        "--input",
+        "-i",
+        required=True,
+        help="path to a JSON instance or problem ('-' reads stdin)",
+    )
+    unified.add_argument(
+        "--objective",
+        choices=["gaps", "power", "throughput"],
+        help="objective (required unless the input file is a full problem)",
+    )
+    unified.add_argument(
+        "--solver",
+        default="auto",
+        help="registry solver name, or 'auto' for capability-based dispatch",
+    )
+    unified.add_argument("--alpha", type=float, help="wake-up cost (power objective)")
+    unified.add_argument(
+        "--max-gaps", type=int, help="gap budget (throughput objective)"
+    )
+    unified.add_argument(
+        "--json", action="store_true", help="print the SolveResult as JSON"
+    )
+
+    sub.add_parser("list-solvers", help="list the registered façade solvers")
+
     gap = sub.add_parser("solve-gap", help="exact multiprocessor gap scheduling")
-    gap.add_argument("jobs", nargs="+", help="jobs as release,deadline pairs")
+    gap.add_argument(
+        "jobs", nargs="+", type=_parse_pair, help="jobs as release,deadline pairs"
+    )
     gap.add_argument("--processors", "-p", type=int, default=1)
 
     power = sub.add_parser("solve-power", help="exact multiprocessor power minimization")
-    power.add_argument("jobs", nargs="+", help="jobs as release,deadline pairs")
+    power.add_argument(
+        "jobs", nargs="+", type=_parse_pair, help="jobs as release,deadline pairs"
+    )
     power.add_argument("--processors", "-p", type=int, default=1)
     power.add_argument("--alpha", type=float, required=True)
 
@@ -95,57 +151,156 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _load_problem(args: argparse.Namespace, parser: argparse.ArgumentParser) -> Problem:
+    """Build a Problem from the ``solve`` subcommand's --input file and flags."""
+    if args.input == "-":
+        text = sys.stdin.read()
+    else:
+        try:
+            with open(args.input, "r", encoding="utf-8") as handle:
+                text = handle.read()
+        except OSError as exc:
+            parser.error(f"cannot read --input file: {exc}")
+    loaded = from_json(text)
+    if isinstance(loaded, Problem):
+        conflicting = [
+            flag
+            for flag, value in [
+                ("--objective", args.objective),
+                ("--alpha", args.alpha),
+                ("--max-gaps", args.max_gaps),
+            ]
+            if value is not None
+        ]
+        if conflicting:
+            parser.error(
+                f"--input holds a full problem; {', '.join(conflicting)} "
+                "would be ignored — drop the flag(s) or pass a bare instance"
+            )
+        return loaded
+    if args.objective is None:
+        parser.error(
+            "--objective is required when --input holds a bare instance "
+            "(or store a full problem in the file)"
+        )
+    return Problem(
+        objective=args.objective,
+        instance=loaded,
+        alpha=args.alpha,
+        max_gaps=args.max_gaps,
+    )
+
+
+def _print_schedule_rows(schedule) -> None:
+    """Print a schedule's as_table rows (single- or multiprocessor shape)."""
+    for row in schedule.as_table():
+        if len(row) == 4:
+            job_idx, name, proc, t = row
+            print(f"  t={t:>4}  processor {proc}  job {name} (#{job_idx})")
+        else:
+            job_idx, name, t = row
+            print(f"  t={t:>4}  job {name} (#{job_idx})")
+
+
+def _print_result(result: SolveResult) -> None:
+    """Human-readable rendering of a SolveResult."""
+    print(
+        f"status: {result.status}  objective: {result.objective}  "
+        f"solver: {result.solver}"
+    )
+    if not result.feasible:
+        return
+    value = result.value
+    value_text = f"{value:g}" if isinstance(value, float) else str(value)
+    print(f"value: {value_text}")
+    if result.guarantee_factor is not None:
+        print(f"guarantee factor: {result.guarantee_factor:g}")
+    if result.schedule is not None:
+        _print_schedule_rows(result.schedule)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
 
+    if args.command == "solve":
+        # Bad input files, malformed problems and unknown solver names must
+        # surface as usage errors (exit 2), not tracebacks.
+        try:
+            problem = _load_problem(args, parser)
+            result = solve(problem, solver=args.solver)
+        except (ReproError, ValueError) as exc:
+            parser.error(str(exc))
+        if args.json:
+            print(to_json(result, indent=2))
+        else:
+            _print_result(result)
+        return 0 if result.feasible else 1
+
+    if args.command == "list-solvers":
+        for spec in list_solvers():
+            types = "/".join(t.__name__ for t in spec.instance_types)
+            print(f"{spec.name:<24} {spec.objective:<11} {spec.kind:<12} {types}")
+            if spec.description:
+                print(f"{'':<24} {spec.description}")
+        return 0
+
     if args.command == "solve-gap":
         instance = MultiprocessorInstance.from_pairs(
-            _parse_pairs(args.jobs), num_processors=args.processors
+            args.jobs, num_processors=args.processors
         )
-        solution = solve_multiprocessor_gap(instance)
-        if not solution.feasible:
+        result = solve(Problem(objective="gaps", instance=instance))
+        if not result.feasible:
             print("infeasible")
             return 1
-        print(f"optimal gaps: {solution.num_gaps}")
-        for job_idx, name, proc, t in solution.require_schedule().as_table():
-            print(f"  t={t:>4}  processor {proc}  job {name} (#{job_idx})")
+        print(f"optimal gaps: {result.value}")
+        _print_schedule_rows(result.require_schedule())
         return 0
 
     if args.command == "solve-power":
         instance = MultiprocessorInstance.from_pairs(
-            _parse_pairs(args.jobs), num_processors=args.processors
+            args.jobs, num_processors=args.processors
         )
-        solution = solve_multiprocessor_power(instance, alpha=args.alpha)
-        if not solution.feasible:
+        result = solve(Problem(objective="power", instance=instance, alpha=args.alpha))
+        if not result.feasible:
             print("infeasible")
             return 1
-        print(f"optimal power: {solution.power:g} (alpha={args.alpha:g})")
-        for job_idx, name, proc, t in solution.require_schedule().as_table():
-            print(f"  t={t:>4}  processor {proc}  job {name} (#{job_idx})")
+        print(f"optimal power: {result.value:g} (alpha={args.alpha:g})")
+        _print_schedule_rows(result.require_schedule())
         return 0
 
     if args.command == "approx-power":
         instance = MultiIntervalInstance.from_time_lists(_parse_time_lists(args.jobs))
-        result = approximate_power_schedule(instance, alpha=args.alpha)
+        result = solve(
+            Problem(objective="power", instance=instance, alpha=args.alpha),
+            solver="power-approx",
+        )
+        if not result.feasible:
+            print("infeasible")
+            return 1
         print(
-            f"power: {result.power:g}  gaps: {result.num_gaps}  "
+            f"power: {result.value:g}  gaps: {result.extra['num_gaps']}  "
             f"guarantee factor: {result.guarantee_factor:g}"
         )
-        for job_idx, name, t in result.schedule.as_table():
-            print(f"  t={t:>4}  job {name} (#{job_idx})")
+        _print_schedule_rows(result.require_schedule())
         return 0
 
     if args.command == "throughput":
         instance = MultiIntervalInstance.from_time_lists(_parse_time_lists(args.jobs))
-        result = greedy_throughput_schedule(instance, max_gaps=args.max_gaps)
-        print(
-            f"scheduled {result.num_scheduled}/{instance.num_jobs} jobs "
-            f"in {len(result.working_intervals)} working intervals"
+        result = solve(
+            Problem(objective="throughput", instance=instance, max_gaps=args.max_gaps)
         )
-        for interval in result.working_intervals:
-            print(f"  interval [{interval.start}, {interval.end}] jobs {list(interval.jobs)}")
+        intervals = result.extra["working_intervals"]
+        print(
+            f"scheduled {result.value}/{instance.num_jobs} jobs "
+            f"in {len(intervals)} working intervals"
+        )
+        for interval in intervals:
+            print(
+                f"  interval [{interval['start']}, {interval['end']}] "
+                f"jobs {interval['jobs']}"
+            )
         return 0
 
     if args.command == "experiment":

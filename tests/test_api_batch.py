@@ -1,0 +1,76 @@
+"""Batch execution tests: ordering, determinism, serial/parallel equivalence."""
+
+import pytest
+
+from repro.api import Problem, solve, solve_batch, to_json
+from repro.generators import (
+    random_multi_interval_instance,
+    random_multiprocessor_instance,
+    random_one_interval_instance,
+)
+
+
+def generated_workload(count=50):
+    """A mixed 50-problem workload covering all objectives and instance types."""
+    problems = []
+    for seed in range(count):
+        kind = seed % 3
+        if kind == 0:
+            instance = random_one_interval_instance(
+                num_jobs=6, horizon=18, max_window=5, seed=seed
+            )
+            problems.append(Problem(objective="gaps", instance=instance))
+        elif kind == 1:
+            instance = random_multiprocessor_instance(
+                num_jobs=5, num_processors=2, horizon=12, max_window=5, seed=seed
+            )
+            problems.append(
+                Problem(objective="power", instance=instance, alpha=1.0 + seed % 4)
+            )
+        else:
+            instance = random_multi_interval_instance(
+                num_jobs=5, horizon=15, intervals_per_job=2, interval_length=2, seed=seed
+            )
+            problems.append(
+                Problem(objective="throughput", instance=instance, max_gaps=1 + seed % 3)
+            )
+    return problems
+
+
+class TestSolveBatch:
+    def test_serial_matches_individual_solves(self):
+        problems = generated_workload(9)
+        batch = solve_batch(problems)
+        assert batch == [solve(problem) for problem in problems]
+
+    def test_results_in_input_order(self):
+        problems = generated_workload(12)
+        results = solve_batch(problems, workers=3)
+        assert len(results) == len(problems)
+        for problem, result in zip(problems, results):
+            assert result.objective == problem.objective
+
+    def test_parallel_byte_identical_to_serial_on_50_instances(self):
+        problems = generated_workload(50)
+        serial = solve_batch(problems)
+        parallel = solve_batch(problems, workers=4)
+        assert serial == parallel
+        serial_bytes = [to_json(result).encode() for result in serial]
+        parallel_bytes = [to_json(result).encode() for result in parallel]
+        assert serial_bytes == parallel_bytes
+
+    def test_explicit_solver_applies_to_all(self):
+        instances = [
+            random_one_interval_instance(num_jobs=5, horizon=15, max_window=4, seed=s)
+            for s in range(4)
+        ]
+        problems = [Problem(objective="gaps", instance=i) for i in instances]
+        results = solve_batch(problems, solver="greedy-gap", workers=2)
+        assert all(result.solver == "greedy-gap" for result in results)
+
+    def test_empty_batch(self):
+        assert solve_batch([]) == []
+
+    def test_workers_one_is_serial(self):
+        problems = generated_workload(3)
+        assert solve_batch(problems, workers=1) == solve_batch(problems)

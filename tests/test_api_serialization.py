@@ -1,0 +1,150 @@
+"""JSON round-trip tests: from_json(to_json(x)) == x for every façade type."""
+
+import json
+
+import pytest
+
+from repro.api import (
+    InvalidInstanceError,
+    Job,
+    MultiIntervalInstance,
+    MultiIntervalJob,
+    MultiprocessorInstance,
+    MultiprocessorSchedule,
+    OneIntervalInstance,
+    Problem,
+    Schedule,
+    SolveResult,
+    from_dict,
+    from_json,
+    solve,
+    to_dict,
+    to_json,
+)
+
+
+def roundtrip(obj):
+    restored = from_json(to_json(obj))
+    assert restored == obj
+    assert type(restored) is type(obj)
+    return restored
+
+
+class TestInstanceRoundTrip:
+    def test_job(self):
+        roundtrip(Job(release=0, deadline=5, name="j0"))
+
+    def test_multi_interval_job(self):
+        roundtrip(MultiIntervalJob(times=[0, 1, 4, 9], name="m"))
+
+    def test_one_interval_instance(self):
+        roundtrip(OneIntervalInstance.from_pairs([(0, 3), (1, 5), (10, 13)]))
+
+    def test_multiprocessor_instance(self):
+        instance = MultiprocessorInstance.from_pairs(
+            [(0, 1), (0, 1), (5, 6)], num_processors=3
+        )
+        restored = roundtrip(instance)
+        assert restored.num_processors == 3
+
+    def test_multi_interval_instance(self):
+        roundtrip(MultiIntervalInstance.from_time_lists([[0, 1], [1, 2], [5, 6]]))
+
+    def test_empty_instance(self):
+        roundtrip(OneIntervalInstance(jobs=[]))
+
+
+class TestProblemRoundTrip:
+    def test_gaps_problem(self):
+        instance = OneIntervalInstance.from_pairs([(0, 2), (1, 3)])
+        roundtrip(Problem(objective="gaps", instance=instance))
+
+    def test_power_problem(self):
+        instance = MultiprocessorInstance.from_pairs([(0, 2)], num_processors=2)
+        restored = roundtrip(
+            Problem(objective="power", instance=instance, alpha=2.5)
+        )
+        assert restored.alpha == 2.5
+
+    def test_throughput_problem(self):
+        instance = MultiIntervalInstance.from_time_lists([[0], [4]])
+        restored = roundtrip(
+            Problem(objective="throughput", instance=instance, max_gaps=2)
+        )
+        assert restored.max_gaps == 2
+
+    def test_decoded_problem_is_validated(self):
+        instance = OneIntervalInstance.from_pairs([(0, 2)])
+        data = to_dict(Problem(objective="gaps", instance=instance))
+        data["objective"] = "nonsense"
+        with pytest.raises(InvalidInstanceError):
+            from_dict(data)
+
+
+class TestScheduleRoundTrip:
+    def test_single_processor_schedule(self):
+        instance = OneIntervalInstance.from_pairs([(0, 2), (1, 3)])
+        roundtrip(Schedule(instance=instance, assignment={0: 0, 1: 1}))
+
+    def test_multiprocessor_schedule(self):
+        instance = MultiprocessorInstance.from_pairs(
+            [(0, 1), (0, 1)], num_processors=2
+        )
+        roundtrip(
+            MultiprocessorSchedule(
+                instance=instance, assignment={0: (1, 0), 1: (2, 0)}
+            )
+        )
+
+
+class TestResultRoundTrip:
+    def test_all_objectives(self):
+        one = OneIntervalInstance.from_pairs([(0, 3), (1, 5), (10, 13)])
+        mp = MultiprocessorInstance.from_pairs([(0, 1), (0, 1)], num_processors=2)
+        mi = MultiIntervalInstance.from_time_lists([[0, 1], [1, 2], [5, 6]])
+        results = [
+            solve(Problem(objective="gaps", instance=one)),
+            solve(Problem(objective="gaps", instance=mp)),
+            solve(Problem(objective="power", instance=mp, alpha=2.0)),
+            solve(Problem(objective="power", instance=mi, alpha=2.0)),
+            solve(Problem(objective="throughput", instance=mi, max_gaps=1)),
+            solve(Problem(objective="gaps", instance=one), solver="greedy-gap"),
+        ]
+        for result in results:
+            roundtrip(result)
+
+    def test_infeasible_result(self):
+        clash = OneIntervalInstance.from_pairs([(0, 0), (0, 0)])
+        result = solve(Problem(objective="gaps", instance=clash))
+        restored = roundtrip(result)
+        assert restored.status == "infeasible"
+        assert restored.schedule is None
+
+    def test_wall_time_excluded_from_json_and_equality(self):
+        instance = OneIntervalInstance.from_pairs([(0, 2)])
+        result = solve(Problem(objective="gaps", instance=instance))
+        assert result.wall_time > 0.0
+        payload = json.loads(to_json(result))
+        assert "wall_time" not in payload
+        restored = from_json(to_json(result))
+        assert restored.wall_time == 0.0
+        assert restored == result  # equality ignores wall_time
+
+
+class TestErrorHandling:
+    def test_to_dict_rejects_unknown_type(self):
+        with pytest.raises(InvalidInstanceError):
+            to_dict(object())
+
+    def test_from_dict_rejects_untagged_payload(self):
+        with pytest.raises(InvalidInstanceError):
+            from_dict({"jobs": []})
+
+    def test_from_dict_rejects_unknown_tag(self):
+        with pytest.raises(InvalidInstanceError):
+            from_dict({"type": "mystery"})
+
+    def test_canonical_text_is_stable(self):
+        instance = OneIntervalInstance.from_pairs([(0, 2), (1, 3)])
+        problem = Problem(objective="gaps", instance=instance)
+        assert to_json(problem) == to_json(from_json(to_json(problem)))

@@ -1,7 +1,11 @@
 """Unit tests for the command-line interface."""
 
+import json
+
 import pytest
 
+from repro import __version__
+from repro.api import MultiprocessorInstance, Problem, to_json
 from repro.cli import build_parser, main
 
 
@@ -52,6 +56,103 @@ class TestCommands:
         assert code == 0
         assert "[E12]" in out
 
-    def test_malformed_job_spec(self):
-        with pytest.raises(Exception):
+    def test_malformed_job_spec_is_clean_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
             main(["solve-gap", "nonsense"])
+        assert excinfo.value.code == 2
+        assert "release,deadline" in capsys.readouterr().err
+
+    def test_non_integer_job_spec_is_clean_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["solve-gap", "0,x"])
+        assert excinfo.value.code == 2
+        assert "two integers" in capsys.readouterr().err
+
+
+class TestSolveSubcommand:
+    def make_instance_file(self, tmp_path, obj):
+        path = tmp_path / "input.json"
+        path.write_text(to_json(obj))
+        return str(path)
+
+    def test_solve_instance_with_objective(self, tmp_path, capsys):
+        instance = MultiprocessorInstance.from_pairs([(0, 0), (2, 2)], num_processors=1)
+        path = self.make_instance_file(tmp_path, instance)
+        code = main(["solve", "--input", path, "--objective", "gaps"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "status: optimal" in out
+        assert "value: 1" in out
+        assert "solver: gap-dp" in out
+
+    def test_solve_problem_file_json_output(self, tmp_path, capsys):
+        instance = MultiprocessorInstance.from_pairs([(0, 1), (0, 1)], num_processors=2)
+        problem = Problem(objective="power", instance=instance, alpha=2.0)
+        path = self.make_instance_file(tmp_path, problem)
+        code = main(["solve", "--input", path, "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["status"] == "optimal"
+        assert payload["objective"] == "power"
+        assert payload["solver"] == "power-dp"
+
+    def test_solve_infeasible_exit_code(self, tmp_path, capsys):
+        instance = MultiprocessorInstance.from_pairs([(0, 0), (0, 0)], num_processors=1)
+        path = self.make_instance_file(tmp_path, instance)
+        code = main(["solve", "--input", path, "--objective", "gaps"])
+        assert code == 1
+        assert "infeasible" in capsys.readouterr().out
+
+    def test_solve_explicit_solver(self, tmp_path, capsys):
+        instance = MultiprocessorInstance.from_pairs([(0, 3), (1, 4)], num_processors=1)
+        path = self.make_instance_file(tmp_path, instance)
+        code = main(
+            ["solve", "--input", path, "--objective", "gaps", "--solver", "brute-force-gaps"]
+        )
+        assert code == 0
+        assert "solver: brute-force-gaps" in capsys.readouterr().out
+
+    def test_solve_rejects_flags_conflicting_with_problem_file(self, tmp_path, capsys):
+        instance = MultiprocessorInstance.from_pairs([(0, 1)], num_processors=1)
+        problem = Problem(objective="power", instance=instance, alpha=2.0)
+        path = self.make_instance_file(tmp_path, problem)
+        with pytest.raises(SystemExit) as excinfo:
+            main(["solve", "--input", path, "--alpha", "99"])
+        assert excinfo.value.code == 2
+        assert "--alpha" in capsys.readouterr().err
+
+    def test_solve_unknown_solver_is_clean_usage_error(self, tmp_path, capsys):
+        instance = MultiprocessorInstance.from_pairs([(0, 1)], num_processors=1)
+        path = self.make_instance_file(tmp_path, instance)
+        with pytest.raises(SystemExit) as excinfo:
+            main(["solve", "--input", path, "--objective", "gaps", "--solver", "gapdp"])
+        assert excinfo.value.code == 2
+        assert "unknown solver" in capsys.readouterr().err
+
+    def test_solve_missing_alpha_is_clean_usage_error(self, tmp_path, capsys):
+        instance = MultiprocessorInstance.from_pairs([(0, 1)], num_processors=1)
+        path = self.make_instance_file(tmp_path, instance)
+        with pytest.raises(SystemExit) as excinfo:
+            main(["solve", "--input", path, "--objective", "power"])
+        assert excinfo.value.code == 2
+        assert "alpha" in capsys.readouterr().err
+
+    def test_solve_requires_objective_for_bare_instance(self, tmp_path, capsys):
+        instance = MultiprocessorInstance.from_pairs([(0, 1)], num_processors=1)
+        path = self.make_instance_file(tmp_path, instance)
+        with pytest.raises(SystemExit) as excinfo:
+            main(["solve", "--input", path])
+        assert excinfo.value.code == 2
+
+    def test_list_solvers(self, capsys):
+        code = main(["list-solvers"])
+        out = capsys.readouterr().out
+        assert code == 0
+        for name in ("gap-dp", "power-dp", "power-approx", "throughput-greedy"):
+            assert name in out
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert __version__ in capsys.readouterr().out
