@@ -16,7 +16,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple, Type
 
-from ..core.exceptions import SolverError
+from ..core.exceptions import InfeasibleInstanceError, SolverError
 from .problem import Problem
 from .result import SolveResult
 
@@ -153,7 +153,9 @@ def select_solver(problem: Problem, solver: str = "auto") -> SolverSpec:
     )
 
 
-def solve(problem: Problem, solver: str = "auto") -> SolveResult:
+def solve(
+    problem: Problem, solver: str = "auto", on_infeasible: str = "result"
+) -> SolveResult:
     """Solve one problem through the façade.
 
     Parameters
@@ -163,15 +165,40 @@ def solve(problem: Problem, solver: str = "auto") -> SolveResult:
     solver:
         ``"auto"`` (default) picks the most capable registered solver;
         a registry name forces a specific solver (e.g. a baseline).
+    on_infeasible:
+        ``"result"`` (default) returns the uniform infeasible envelope
+        (``status="infeasible"``, ``value=None``, ``schedule=None``);
+        ``"raise"`` raises :class:`InfeasibleInstanceError` instead.
 
     Returns
     -------
     :class:`~repro.api.result.SolveResult` with the solver name and wall
     time filled in.
+
+    Notes
+    -----
+    Infeasibility is normalized *here*, not per solver: adapters may either
+    return an infeasible envelope or raise
+    :class:`~repro.core.exceptions.InfeasibleInstanceError`, and façade
+    callers always observe the same uniform behavior either way.
     """
+    if on_infeasible not in ("result", "raise"):
+        raise ValueError(
+            f"on_infeasible must be 'result' or 'raise', got {on_infeasible!r}"
+        )
     spec = select_solver(problem, solver=solver)
     start = time.perf_counter()
-    result = spec.func(problem)
+    try:
+        result = spec.func(problem)
+    except InfeasibleInstanceError:
+        result = SolveResult(
+            status="infeasible",
+            objective=problem.objective,
+            value=None,
+            schedule=None,
+        )
     result.wall_time = time.perf_counter() - start
     result.solver = spec.name
+    if on_infeasible == "raise":
+        result.raise_for_status()
     return result

@@ -74,6 +74,13 @@ class SolveResult:
             raise ValueError(
                 f"unknown status {self.status!r}; expected one of {STATUSES}"
             )
+        if self.status == "infeasible" and (
+            self.value is not None or self.schedule is not None
+        ):
+            raise ValueError(
+                "infeasible results must carry value=None and schedule=None; "
+                f"got value={self.value!r}, schedule={type(self.schedule).__name__}"
+            )
 
     @property
     def feasible(self) -> bool:
@@ -85,3 +92,19 @@ class SolveResult:
         if not self.feasible or self.schedule is None:
             raise InfeasibleInstanceError("instance admits no feasible schedule")
         return self.schedule
+
+    def raise_for_status(self) -> "SolveResult":
+        """Raise :class:`InfeasibleInstanceError` on infeasible results, else return self.
+
+        This is the uniform exception path of the façade: callers that prefer
+        exceptions over status inspection chain
+        ``solve(problem).raise_for_status()`` (or pass
+        ``on_infeasible="raise"`` to :func:`repro.api.solve`) and get the same
+        error type regardless of which solver ran.
+        """
+        if not self.feasible:
+            raise InfeasibleInstanceError(
+                f"instance admits no feasible schedule "
+                f"(objective={self.objective!r}, solver={self.solver!r})"
+            )
+        return self

@@ -38,7 +38,6 @@ from ..core.brute_force import (
     brute_force_power_multiproc,
     brute_force_throughput,
 )
-from ..core.exceptions import InfeasibleInstanceError
 from ..core.greedy_gap import greedy_gap_schedule
 from ..core.jobs import (
     MultiIntervalInstance,
@@ -58,6 +57,9 @@ __all__: List[str] = []
 
 
 def _infeasible(problem: Problem) -> SolveResult:
+    # Adapters for flag-based cores translate ``feasible=False`` into the
+    # uniform envelope; adapters for raising cores simply let
+    # InfeasibleInstanceError propagate — registry.solve normalizes both.
     return SolveResult(
         status="infeasible",
         objective=problem.objective,
@@ -142,10 +144,7 @@ def _solve_power_dp(problem: Problem) -> SolveResult:
     description="Theorem 3 (1 + (2/3)alpha)-approximation via set packing",
 )
 def _solve_power_approx(problem: Problem) -> SolveResult:
-    try:
-        approx = approximate_power_schedule(problem.instance, alpha=problem.alpha)
-    except InfeasibleInstanceError:
-        return _infeasible(problem)
+    approx = approximate_power_schedule(problem.instance, alpha=problem.alpha)
     return SolveResult(
         status="approximate",
         objective="power",
@@ -220,10 +219,7 @@ def _solve_greedy_gap(problem: Problem) -> SolveResult:
     description="work-conserving online EDF (the only feasibility-safe online policy)",
 )
 def _solve_online_edf(problem: Problem) -> SolveResult:
-    try:
-        schedule = online_gap_schedule(problem.instance)
-    except InfeasibleInstanceError:
-        return _infeasible(problem)
+    schedule = online_gap_schedule(problem.instance)
     return SolveResult(
         status="approximate",
         objective="gaps",

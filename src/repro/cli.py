@@ -20,6 +20,14 @@ Sub-commands
     Multi-interval instance plus ``--max-gaps``; runs the Theorem 11 greedy.
 ``experiment``
     Regenerate one experiment table (or all of them) from DESIGN.md.
+``verify``
+    Run the differential verification harness on one JSON instance/problem:
+    every capable registered solver, independent certificates, consistency
+    matrix, metamorphic relations.
+``fuzz``
+    Seedable differential fuzzing over generated instances
+    (``--seed --n --objective``), with a replayable JSON failure corpus
+    (``--corpus`` to save, ``--replay`` to re-run saved failures).
 
 All solving goes through :mod:`repro.api`; this module never imports a
 solver implementation directly.
@@ -147,6 +155,57 @@ def build_parser() -> argparse.ArgumentParser:
         "which", nargs="?", default="all", help="experiment id (E1..E12) or 'all'"
     )
     experiment.add_argument("--scale", choices=["smoke", "paper"], default="smoke")
+
+    verify = sub.add_parser(
+        "verify", help="differentially verify a JSON instance/problem"
+    )
+    verify.add_argument(
+        "--input",
+        "-i",
+        required=True,
+        help="path to a JSON instance or problem ('-' reads stdin)",
+    )
+    verify.add_argument(
+        "--objective",
+        choices=["gaps", "power", "throughput"],
+        help="objective (required unless the input file is a full problem)",
+    )
+    verify.add_argument("--alpha", type=float, help="wake-up cost (power objective)")
+    verify.add_argument(
+        "--max-gaps", type=int, help="gap budget (throughput objective)"
+    )
+    verify.add_argument(
+        "--no-metamorphic",
+        action="store_true",
+        help="skip the metamorphic relation checks",
+    )
+
+    fuzz_cmd = sub.add_parser(
+        "fuzz", help="differential fuzzing across all registered solvers"
+    )
+    fuzz_cmd.add_argument(
+        "--seed", type=int, help="master RNG seed (default 0; not with --replay)"
+    )
+    fuzz_cmd.add_argument(
+        "--n", type=int, help="number of fuzz cases (default 100; not with --replay)"
+    )
+    fuzz_cmd.add_argument(
+        "--objective",
+        action="append",
+        choices=["gaps", "power", "throughput"],
+        help="objective(s) to fuzz (repeatable; default: all three)",
+    )
+    fuzz_cmd.add_argument(
+        "--corpus", help="write failing cases to this JSON corpus file"
+    )
+    fuzz_cmd.add_argument(
+        "--replay", help="replay a saved JSON failure corpus instead of generating"
+    )
+    fuzz_cmd.add_argument(
+        "--no-metamorphic",
+        action="store_true",
+        help="skip the metamorphic relation checks",
+    )
 
     return parser
 
@@ -302,6 +361,90 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 f"jobs {interval['jobs']}"
             )
         return 0
+
+    if args.command == "verify":
+        from .verify import metamorphic_issues, run_differential
+
+        try:
+            problem = _load_problem(args, parser)
+        except (ReproError, ValueError) as exc:
+            parser.error(str(exc))
+        report = run_differential(problem)
+        for run in report.runs:
+            if run.error is not None:
+                print(f"{run.name:<24} ERROR  {run.error}")
+                continue
+            cert = "certified" if run.certificate and run.certificate.ok else "FAILED"
+            print(
+                f"{run.name:<24} {run.result.status:<12} "
+                f"value={run.result.value}  {cert}"
+            )
+        for name in report.skipped:
+            print(f"{name:<24} skipped (instance too large to enumerate)")
+        issues = list(report.issues)
+        if not args.no_metamorphic:
+            # Same checks as the fuzz path: base result reused from the
+            # differential runs, processor relabeling included.
+            issues.extend(metamorphic_issues(problem, report, meta_seed=0))
+        if issues:
+            print("ISSUES:")
+            for issue in issues:
+                print(f"  - {issue}")
+            return 1
+        print("consistency matrix: OK")
+        return 0
+
+    if args.command == "fuzz":
+        from .verify import fuzz as run_fuzz
+        from .verify import replay as run_replay
+
+        if args.replay is not None:
+            conflicting = [
+                flag
+                for flag, value in [
+                    ("--seed", args.seed),
+                    ("--n", args.n),
+                    ("--objective", args.objective),
+                ]
+                if value is not None
+            ]
+            if conflicting:
+                parser.error(
+                    f"--replay re-runs the saved corpus; {', '.join(conflicting)} "
+                    "would be ignored — drop the flag(s) or fuzz without --replay"
+                )
+            try:
+                report = run_replay(args.replay, metamorphic=not args.no_metamorphic)
+            except (OSError, ValueError, KeyError) as exc:
+                parser.error(f"cannot replay corpus {args.replay!r}: {exc}")
+            if args.corpus:
+                # Persist the still-failing subset, letting users shrink a
+                # corpus as bugs get fixed.
+                from .verify import save_corpus
+
+                save_corpus(report.failures, args.corpus)
+        else:
+            objectives = (
+                tuple(dict.fromkeys(args.objective))
+                if args.objective
+                else ("gaps", "power", "throughput")
+            )
+            report = run_fuzz(
+                seed=args.seed if args.seed is not None else 0,
+                n=args.n if args.n is not None else 100,
+                objectives=objectives,
+                metamorphic=not args.no_metamorphic,
+                corpus_path=args.corpus,
+            )
+        print(report.summary())
+        for failure in report.failures:
+            print(f"  case {failure.index} [{failure.kind}/{failure.objective}"
+                  f"/{failure.generator}]:")
+            for issue in failure.issues:
+                print(f"    - {issue}")
+        if args.corpus:
+            print(f"corpus written to {args.corpus}")
+        return 0 if report.ok else 1
 
     if args.command == "experiment":
         if args.which.lower() == "all":

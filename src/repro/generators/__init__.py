@@ -12,8 +12,16 @@ synthetic instances produced here.  Three families are provided:
   request traces, periodic sensor duty cycles, and batch queues with slack.
 * :mod:`repro.generators.adversarial` — the online lower-bound family and
   other worst-case constructions (re-exported from :mod:`repro.core.online`).
+* :mod:`repro.generators.fuzzers` — structured fuzzing families (tight
+  windows, clustered releases, Hall-violating near-infeasible instances)
+  used by :mod:`repro.verify`.
 """
 
+from .fuzzers import (
+    clustered_release_instance,
+    hall_violating_instance,
+    tight_window_instance,
+)
 from .random_jobs import (
     random_multi_interval_instance,
     random_multiprocessor_instance,
@@ -34,4 +42,7 @@ __all__ = [
     "bursty_server_instance",
     "periodic_sensor_instance",
     "batch_queue_instance",
+    "tight_window_instance",
+    "clustered_release_instance",
+    "hall_violating_instance",
 ]

@@ -1,0 +1,145 @@
+"""Structured fuzzing families for the verification harness.
+
+The uniform generators in :mod:`repro.generators.random_jobs` explore the
+bulk of the instance space but rarely hit the boundary cases where solver
+bugs live.  The families here are deliberately skewed toward those
+boundaries:
+
+* :func:`tight_window_instance` — windows of length one or two at near-full
+  load, so almost every slot is forced and the bipartite matching is close
+  to a perfect matching.
+* :func:`clustered_release_instance` — bursts of jobs released at a few
+  cluster points with varying slack, the regime where gap placement
+  decisions actually differ between solvers.
+* :func:`hall_violating_instance` — instances that are infeasible *by
+  construction*: some window ``[x, y]`` holds one more job than it has
+  slots, a violated Hall condition (see :mod:`repro.matching.hall`).  With
+  ``slack=0`` the overloaded window is made exactly tight instead, giving a
+  knife-edge feasible instance.
+
+Like every generator in the package, these take an explicit seed and never
+touch the global RNG.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Union
+
+from ..core.exceptions import InvalidInstanceError
+from ..core.jobs import Job, MultiprocessorInstance, OneIntervalInstance
+
+__all__ = [
+    "tight_window_instance",
+    "clustered_release_instance",
+    "hall_violating_instance",
+]
+
+InstanceOut = Union[OneIntervalInstance, MultiprocessorInstance]
+
+
+def _rng(seed: Optional[int]) -> random.Random:
+    return random.Random(seed)
+
+
+def _wrap(jobs: List[Job], num_processors: Optional[int]) -> InstanceOut:
+    if num_processors is None:
+        return OneIntervalInstance(jobs)
+    return MultiprocessorInstance(jobs=jobs, num_processors=num_processors)
+
+
+def tight_window_instance(
+    num_jobs: int,
+    horizon: int,
+    seed: Optional[int] = None,
+    num_processors: Optional[int] = None,
+) -> InstanceOut:
+    """Jobs with windows of length 1-2 packed into a short horizon.
+
+    Roughly ``num_jobs / (horizon * p)`` of the capacity is demanded, so with
+    ``num_jobs`` close to ``horizon * p`` nearly every slot is forced.  The
+    instance may or may not be feasible; the verification harness treats
+    both outcomes as signal (solvers must *agree*).
+    """
+    if num_jobs < 0 or horizon < 1:
+        raise InvalidInstanceError("num_jobs must be >= 0 and horizon >= 1")
+    rng = _rng(seed)
+    jobs: List[Job] = []
+    for i in range(num_jobs):
+        release = rng.randrange(horizon)
+        deadline = min(horizon - 1, release + rng.randint(0, 1))
+        jobs.append(Job(release=release, deadline=deadline, name=f"tight{i}"))
+    return _wrap(jobs, num_processors)
+
+
+def clustered_release_instance(
+    num_jobs: int,
+    horizon: int,
+    num_clusters: int = 3,
+    max_slack: int = 4,
+    seed: Optional[int] = None,
+    num_processors: Optional[int] = None,
+) -> InstanceOut:
+    """Bursts of jobs released together at a few cluster points.
+
+    Each job is released at one of ``num_clusters`` uniformly placed cluster
+    times (with jitter 0-1) and gets a deadline ``1..max_slack`` slots after
+    its release, clipped to the horizon.  Bursty arrivals with modest slack
+    are exactly the workloads where greedy gap placement and the DP diverge.
+    """
+    if num_jobs < 0 or horizon < 1 or num_clusters < 1 or max_slack < 1:
+        raise InvalidInstanceError("invalid clustered-release generator parameters")
+    rng = _rng(seed)
+    cluster_points = sorted(rng.randrange(horizon) for _ in range(num_clusters))
+    jobs: List[Job] = []
+    for i in range(num_jobs):
+        base = rng.choice(cluster_points)
+        release = min(horizon - 1, base + rng.randint(0, 1))
+        deadline = min(horizon - 1, release + rng.randint(1, max_slack))
+        jobs.append(Job(release=release, deadline=deadline, name=f"burst{i}"))
+    return _wrap(jobs, num_processors)
+
+
+def hall_violating_instance(
+    num_jobs: int,
+    horizon: int,
+    seed: Optional[int] = None,
+    num_processors: Optional[int] = None,
+    slack: int = -1,
+) -> InstanceOut:
+    """An instance whose load on some window is off from capacity by ``-slack``.
+
+    A window ``[x, y]`` is chosen at random and filled with
+    ``p * (y - x + 1) - slack`` jobs whose whole execution window lies inside
+    ``[x, y]``; remaining jobs are placed loosely elsewhere.  With the
+    default ``slack=-1`` the window demands one more job than it has slots —
+    a Hall violation, so the instance is certifiably infeasible.  With
+    ``slack=0`` the window is exactly tight: the instance sits on the
+    feasibility knife edge (and is feasible unless the filler jobs collide).
+
+    The instance holds ``max(num_jobs, p * width - slack)`` jobs in total,
+    where ``width`` is the drawn window width: overloading the window always
+    takes ``p * width - slack`` jobs (at least ``p - slack``, the width-one
+    case), and ``num_jobs`` is topped up with loose filler jobs when larger.
+    """
+    if num_jobs < 1 or horizon < 2:
+        raise InvalidInstanceError("need num_jobs >= 1 and horizon >= 2")
+    if slack > 0:
+        raise InvalidInstanceError("slack must be <= 0 for a near-infeasible family")
+    p = 1 if num_processors is None else num_processors
+    rng = _rng(seed)
+    num_jobs = max(num_jobs, p - slack)
+    width = rng.randint(1, max(1, min(horizon - 1, (num_jobs + slack) // max(1, p))))
+    x = rng.randrange(horizon - width)
+    y = x + width - 1
+    overload = p * width - slack
+    jobs: List[Job] = []
+    for i in range(overload):
+        release = rng.randint(x, y)
+        deadline = rng.randint(release, y)
+        jobs.append(Job(release=release, deadline=deadline, name=f"hall{i}"))
+    for i in range(max(0, num_jobs - overload)):
+        release = rng.randrange(horizon)
+        deadline = min(horizon - 1, release + rng.randint(1, horizon))
+        jobs.append(Job(release=release, deadline=deadline, name=f"fill{i}"))
+    return _wrap(jobs, num_processors)

@@ -1,0 +1,97 @@
+"""``repro.verify`` — certificate checkers and differential fuzzing.
+
+The verification subsystem is the safety net over the whole solver registry:
+
+* :mod:`repro.verify.certificates` — independent re-computation of schedule
+  validity, gap count, power cost and throughput from the raw schedule,
+  never trusting the solver's reported value;
+* :mod:`repro.verify.differential` — run every capable registered solver on
+  one problem and assert the cross-solver consistency matrix (exact ==
+  exact == brute force, heuristics bounded by their guarantees, uniform
+  feasibility verdicts);
+* :mod:`repro.verify.metamorphic` — invariance transforms (time shift, job
+  permutation, window widening, time dilation, extra processors, processor
+  relabeling) with equality/monotonicity oracles;
+* :mod:`repro.verify.fuzz` — the seedable fuzzing driver with a replayable
+  JSON failure corpus, exposed as ``repro-sched fuzz`` / ``repro-sched
+  verify`` on the command line.
+
+Quickstart::
+
+    from repro.api import OneIntervalInstance, Problem
+    from repro.verify import run_differential
+
+    instance = OneIntervalInstance.from_pairs([(0, 3), (1, 5), (10, 13)])
+    report = run_differential(Problem(objective="gaps", instance=instance))
+    report.raise_on_failure()
+"""
+
+from .certificates import (
+    Certificate,
+    certify_result,
+    independent_gap_count,
+    independent_power_cost,
+    recompute_value,
+)
+from .differential import (
+    DifferentialReport,
+    SolverRun,
+    estimated_enumeration_cost,
+    run_differential,
+)
+from .metamorphic import (
+    ALL_RELATIONS,
+    MetamorphicRelation,
+    add_processor,
+    check_processor_relabeling,
+    check_relation,
+    dilate_instance,
+    permute_jobs,
+    relabel_processors,
+    run_metamorphic,
+    shift_instance,
+    widen_windows,
+)
+from .fuzz import (
+    FuzzFailure,
+    FuzzReport,
+    fuzz,
+    load_corpus,
+    metamorphic_issues,
+    replay,
+    save_corpus,
+)
+
+__all__ = [
+    # certificates
+    "Certificate",
+    "certify_result",
+    "recompute_value",
+    "independent_gap_count",
+    "independent_power_cost",
+    # differential
+    "SolverRun",
+    "DifferentialReport",
+    "run_differential",
+    "estimated_enumeration_cost",
+    # metamorphic
+    "MetamorphicRelation",
+    "ALL_RELATIONS",
+    "shift_instance",
+    "permute_jobs",
+    "widen_windows",
+    "dilate_instance",
+    "add_processor",
+    "relabel_processors",
+    "check_relation",
+    "check_processor_relabeling",
+    "run_metamorphic",
+    # fuzzing
+    "FuzzFailure",
+    "FuzzReport",
+    "fuzz",
+    "metamorphic_issues",
+    "replay",
+    "save_corpus",
+    "load_corpus",
+]

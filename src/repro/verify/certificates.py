@@ -1,0 +1,300 @@
+"""Independent certificate checkers for façade results.
+
+Every solver in the registry reports an objective value *and* a witnessing
+schedule.  The checkers here recompute everything from the raw
+``assignment`` mapping and the instance data — validity (allowed times,
+one job per (processor, time) slot, completeness), gap count, power cost
+under ``alpha``, throughput count — and never trust the solver's reported
+value, its ``extra`` payload, or even the accounting helpers the solvers
+themselves use.  The few lines of span/gap arithmetic are intentionally
+re-implemented here so that a bug in :mod:`repro.core.schedule` cannot
+certify its own output.
+
+Infeasibility claims are certified against the matching-based feasibility
+test (:mod:`repro.core.feasibility`), which is an independent algorithm
+from the DPs, and against the Hall-condition certificate where one exists.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..core.feasibility import is_feasible, is_feasible_multiproc
+from ..core.jobs import (
+    Job,
+    MultiIntervalInstance,
+    MultiprocessorInstance,
+    OneIntervalInstance,
+)
+from ..core.schedule import MultiprocessorSchedule, Schedule
+from ..api.problem import Problem
+from ..api.result import STATUSES, SolveResult
+
+__all__ = [
+    "Certificate",
+    "certify_result",
+    "recompute_value",
+    "independent_gap_count",
+    "independent_power_cost",
+    "values_close",
+]
+
+#: Relative/absolute tolerance for float value comparisons.
+TOLERANCE = 1e-9
+
+
+@dataclass
+class Certificate:
+    """Outcome of independently re-checking one :class:`SolveResult`.
+
+    ``ok`` is true when every check passed; ``issues`` lists every violated
+    property in human-readable form; ``recomputed_value`` is the objective
+    value recomputed from the raw schedule (``None`` for certified-infeasible
+    results).
+    """
+
+    ok: bool
+    issues: List[str] = field(default_factory=list)
+    recomputed_value: Optional[float] = None
+
+    def raise_on_failure(self) -> "Certificate":
+        """Raise ``AssertionError`` listing every issue when not ok."""
+        if not self.ok:
+            raise AssertionError("certificate failed: " + "; ".join(self.issues))
+        return self
+
+
+# ---------------------------------------------------------------------------
+# independent accounting (deliberately re-derived, not imported from core)
+# ---------------------------------------------------------------------------
+def _idle_runs(busy: Iterable[int]) -> List[int]:
+    """Lengths of finite maximal idle runs between sorted busy times."""
+    times = sorted(set(busy))
+    runs: List[int] = []
+    for prev, nxt in zip(times, times[1:]):
+        if nxt - prev > 1:
+            runs.append(nxt - prev - 1)
+    return runs
+
+
+def independent_gap_count(busy: Iterable[int]) -> int:
+    """Number of gaps of a busy-time set, recomputed from first principles."""
+    return len(_idle_runs(busy))
+
+
+def independent_power_cost(busy: Iterable[int], alpha: float) -> float:
+    """Power cost of a busy-time set: busy time + wake-up + min(gap, alpha) per gap."""
+    times = sorted(set(busy))
+    if not times:
+        return 0.0
+    cost = float(len(times)) + float(alpha)
+    for run in _idle_runs(times):
+        cost += min(float(run), float(alpha))
+    return cost
+
+
+def _allowed_at(job, t: int) -> bool:
+    if isinstance(job, Job):
+        return job.release <= t <= job.deadline
+    return t in job.times
+
+
+def values_close(a: float, b: float) -> bool:
+    """The one tolerance policy of the verification subsystem."""
+    return math.isclose(float(a), float(b), rel_tol=TOLERANCE, abs_tol=TOLERANCE)
+
+
+# ---------------------------------------------------------------------------
+# schedule-level checks
+# ---------------------------------------------------------------------------
+def _check_single_schedule(
+    problem: Problem, schedule: Schedule, issues: List[str], require_complete: bool
+) -> Optional[List[int]]:
+    """Validate a single-processor schedule; return its busy times (or None)."""
+    jobs = problem.instance.jobs
+    seen: Dict[int, int] = {}
+    for job_idx, t in schedule.assignment.items():
+        if not 0 <= job_idx < len(jobs):
+            issues.append(f"schedule references unknown job index {job_idx}")
+            return None
+        if not _allowed_at(jobs[job_idx], t):
+            issues.append(f"job {job_idx} scheduled at disallowed time {t}")
+        if t in seen:
+            issues.append(f"time {t} double-booked by jobs {seen[t]} and {job_idx}")
+        seen[t] = job_idx
+    if require_complete:
+        missing = sorted(set(range(len(jobs))) - set(schedule.assignment))
+        if missing:
+            issues.append(f"jobs {missing} are not scheduled")
+    return sorted(schedule.assignment.values())
+
+
+def _check_multiproc_schedule(
+    problem: Problem, schedule: MultiprocessorSchedule, issues: List[str]
+) -> Optional[Dict[int, List[int]]]:
+    """Validate a multiprocessor schedule; return busy times per processor."""
+    instance = problem.instance
+    jobs = instance.jobs
+    p = instance.num_processors
+    seen: Dict[Tuple[int, int], int] = {}
+    by_proc: Dict[int, List[int]] = {}
+    for job_idx, (proc, t) in schedule.assignment.items():
+        if not 0 <= job_idx < len(jobs):
+            issues.append(f"schedule references unknown job index {job_idx}")
+            return None
+        if not 1 <= proc <= p:
+            issues.append(f"job {job_idx} on processor {proc}, but only {p} exist")
+        if not _allowed_at(jobs[job_idx], t):
+            issues.append(f"job {job_idx} scheduled at disallowed time {t}")
+        slot = (proc, t)
+        if slot in seen:
+            issues.append(f"slot {slot} double-booked by jobs {seen[slot]} and {job_idx}")
+        seen[slot] = job_idx
+        by_proc.setdefault(proc, []).append(t)
+    missing = sorted(set(range(len(jobs))) - set(schedule.assignment))
+    if missing:
+        issues.append(f"jobs {missing} are not scheduled")
+    return by_proc
+
+
+def _multiproc_value(
+    problem: Problem, by_proc: Dict[int, List[int]]
+) -> Optional[float]:
+    """Objective value from an independently-built per-processor grouping."""
+    if problem.objective == "gaps":
+        return float(sum(independent_gap_count(ts) for ts in by_proc.values()))
+    if problem.objective == "power":
+        return sum(
+            independent_power_cost(ts, problem.alpha) for ts in by_proc.values()
+        )
+    return None
+
+
+def recompute_value(problem: Problem, result: SolveResult) -> Optional[float]:
+    """The objective value recomputed from the result's raw schedule.
+
+    Returns ``None`` when the result carries no schedule.  Raises nothing:
+    use :func:`certify_result` for the full check.
+    """
+    if result.schedule is None:
+        return None
+    if isinstance(result.schedule, MultiprocessorSchedule):
+        # Group busy times per processor from the raw assignment rather than
+        # through MultiprocessorSchedule.busy_times_by_processor(), keeping
+        # the recomputation independent of the accounting the solvers share.
+        by_proc: Dict[int, List[int]] = {}
+        for _job, (proc, t) in result.schedule.assignment.items():
+            by_proc.setdefault(proc, []).append(t)
+        return _multiproc_value(problem, by_proc)
+    busy = sorted(result.schedule.assignment.values())
+    if problem.objective == "gaps":
+        return float(independent_gap_count(busy))
+    if problem.objective == "power":
+        return independent_power_cost(busy, problem.alpha)
+    if problem.objective == "throughput":
+        return float(len(result.schedule.assignment))
+    return None
+
+
+# ---------------------------------------------------------------------------
+# the certificate
+# ---------------------------------------------------------------------------
+def certify_result(
+    problem: Problem, result: SolveResult, check_infeasibility: bool = True
+) -> Certificate:
+    """Independently certify one façade result against its problem.
+
+    Checks, in order:
+
+    1. envelope invariants — known status, matching objective, infeasible
+       implies ``value is None`` and ``schedule is None``;
+    2. for infeasible claims — the matching-based feasibility oracle agrees
+       the instance really is infeasible (skipped when
+       ``check_infeasibility`` is false, e.g. for huge instances);
+    3. for feasible claims — the schedule is valid (window/allowed-time
+       containment, no double-booked slot, completeness for the ``gaps`` and
+       ``power`` objectives) and the reported value equals the value
+       recomputed from the raw schedule;
+    4. sanity of the guarantee factor (``>= 1`` whenever present).
+    """
+    issues: List[str] = []
+
+    if result.status not in STATUSES:
+        issues.append(f"unknown status {result.status!r}")
+        return Certificate(ok=False, issues=issues)
+    if result.objective != problem.objective:
+        issues.append(
+            f"result objective {result.objective!r} does not match "
+            f"problem objective {problem.objective!r}"
+        )
+    if result.guarantee_factor is not None and result.guarantee_factor < 1.0:
+        issues.append(f"guarantee factor {result.guarantee_factor} < 1")
+
+    if result.status == "infeasible":
+        if result.value is not None:
+            issues.append(f"infeasible result carries value {result.value!r}")
+        if result.schedule is not None:
+            issues.append("infeasible result carries a schedule")
+        if problem.objective == "throughput":
+            issues.append(
+                "throughput problems are never infeasible (the empty schedule "
+                "is always admissible)"
+            )
+        elif check_infeasibility and _independently_feasible(problem.instance):
+            issues.append(
+                "solver claims infeasible but the matching oracle finds a "
+                "feasible schedule"
+            )
+        return Certificate(ok=not issues, issues=issues)
+
+    # Feasible claim: a witnessing schedule is mandatory.
+    if result.schedule is None:
+        issues.append(f"{result.status!r} result carries no schedule")
+        return Certificate(ok=False, issues=issues)
+    if result.value is None:
+        issues.append(f"{result.status!r} result carries no value")
+        return Certificate(ok=False, issues=issues)
+
+    recomputed: Optional[float] = None
+    if isinstance(result.schedule, MultiprocessorSchedule):
+        if not isinstance(problem.instance, MultiprocessorInstance):
+            issues.append("multiprocessor schedule for a single-processor problem")
+            return Certificate(ok=False, issues=issues)
+        by_proc = _check_multiproc_schedule(problem, result.schedule, issues)
+        if by_proc is not None:
+            recomputed = _multiproc_value(problem, by_proc)
+    else:
+        require_complete = problem.objective != "throughput"
+        busy = _check_single_schedule(
+            problem, result.schedule, issues, require_complete
+        )
+        if problem.objective == "throughput" and busy is not None:
+            # Both budget conventions in the package (the greedy's k busy
+            # blocks, the oracle's k internal gaps) imply at most max_gaps
+            # internal gaps, so this is a solver-independent bound.
+            gaps = independent_gap_count(busy)
+            if gaps > problem.max_gaps:
+                issues.append(
+                    f"schedule has {gaps} internal gaps, exceeding the "
+                    f"budget max_gaps={problem.max_gaps}"
+                )
+
+    if recomputed is None and not isinstance(result.schedule, MultiprocessorSchedule):
+        recomputed = recompute_value(problem, result)
+    if recomputed is None:
+        issues.append("could not recompute the objective value from the schedule")
+    elif not values_close(recomputed, result.value):
+        issues.append(
+            f"reported value {result.value} != recomputed value {recomputed}"
+        )
+    return Certificate(ok=not issues, issues=issues, recomputed_value=recomputed)
+
+
+def _independently_feasible(instance) -> bool:
+    """Matching-based feasibility, independent of every DP solver."""
+    if isinstance(instance, MultiprocessorInstance):
+        return is_feasible_multiproc(instance)
+    assert isinstance(instance, (OneIntervalInstance, MultiIntervalInstance))
+    return is_feasible(instance)

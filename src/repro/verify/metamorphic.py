@@ -1,0 +1,396 @@
+"""Metamorphic relations: invariance transforms with equality/monotonicity oracles.
+
+A metamorphic relation transforms an instance in a way whose effect on the
+*optimal* objective value is known a priori, letting the harness test
+solvers on instances where no ground truth is available:
+
+========================  ==========================================  =============================
+transform                 applies to                                  oracle
+========================  ==========================================  =============================
+global time shift         all instance types                          value equal, feasibility equal
+job permutation           all instance types                          value equal, feasibility equal
+window widening           one-interval / multiprocessor               relaxation: value non-increasing
+                                                                      (non-decreasing for throughput)
+time dilation (t -> f*t)  multi-interval                              gaps/power non-decreasing,
+                                                                      throughput non-increasing,
+                                                                      feasibility equal
+extra processor           multiprocessor                              relaxation: value non-increasing
+processor relabeling      multiprocessor *schedules*                  validity, gaps and power equal
+========================  ==========================================  =============================
+
+The value oracles are sound for solvers that return certified optima, so
+:func:`run_metamorphic` compares *exact* solvers only (the DPs, or the
+brute-force oracles on small instances); heuristic tie-breaking is not
+translation/permutation invariant in general.  Processor relabeling is a
+schedule-level relation and applies to any solver's output.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..api.problem import Problem
+from ..api.registry import solve
+from ..api.result import SolveResult
+from ..core.jobs import (
+    Job,
+    MultiIntervalInstance,
+    MultiIntervalJob,
+    MultiprocessorInstance,
+    OneIntervalInstance,
+)
+from ..core.schedule import MultiprocessorSchedule
+from .certificates import TOLERANCE, independent_gap_count, values_close
+from .differential import THROUGHPUT_BRUTE_FORCE_LIMIT, BRUTE_FORCE_LIMIT, estimated_enumeration_cost
+
+__all__ = [
+    "MetamorphicRelation",
+    "ALL_RELATIONS",
+    "shift_instance",
+    "permute_jobs",
+    "widen_windows",
+    "dilate_instance",
+    "add_processor",
+    "relabel_processors",
+    "check_relation",
+    "check_processor_relabeling",
+    "run_metamorphic",
+]
+
+
+# ---------------------------------------------------------------------------
+# instance transforms
+# ---------------------------------------------------------------------------
+def shift_instance(instance, delta: int):
+    """Translate every time of the instance by ``delta``."""
+    if isinstance(instance, MultiIntervalInstance):
+        return MultiIntervalInstance(
+            [
+                MultiIntervalJob(times=[t + delta for t in job.times], name=job.name)
+                for job in instance.jobs
+            ]
+        )
+    jobs = [
+        Job(release=j.release + delta, deadline=j.deadline + delta, name=j.name)
+        for j in instance.jobs
+    ]
+    if isinstance(instance, MultiprocessorInstance):
+        return MultiprocessorInstance(jobs=jobs, num_processors=instance.num_processors)
+    return OneIntervalInstance(jobs)
+
+
+def permute_jobs(instance, permutation: List[int]):
+    """Reorder the jobs of the instance by ``permutation`` (new index -> old index)."""
+    jobs = [instance.jobs[old] for old in permutation]
+    if isinstance(instance, MultiIntervalInstance):
+        return MultiIntervalInstance(jobs)
+    if isinstance(instance, MultiprocessorInstance):
+        return MultiprocessorInstance(jobs=jobs, num_processors=instance.num_processors)
+    return OneIntervalInstance(jobs)
+
+
+def widen_windows(instance, slack: int):
+    """Extend every deadline by ``slack`` slots (a pure relaxation)."""
+    jobs = [
+        Job(release=j.release, deadline=j.deadline + slack, name=j.name)
+        for j in instance.jobs
+    ]
+    if isinstance(instance, MultiprocessorInstance):
+        return MultiprocessorInstance(jobs=jobs, num_processors=instance.num_processors)
+    return OneIntervalInstance(jobs)
+
+
+def dilate_instance(instance: MultiIntervalInstance, factor: int) -> MultiIntervalInstance:
+    """Map every allowed time ``t`` to ``factor * t`` (a bijection on schedules).
+
+    Dilation preserves feasibility exactly (the job/slot bipartite graph is
+    isomorphic) and stretches every idle run, so the optimal gap count and
+    the optimal power cost can only grow, while the optimal throughput under
+    a fixed gap budget can only shrink.
+    """
+    return MultiIntervalInstance(
+        [
+            MultiIntervalJob(times=[factor * t for t in job.times], name=job.name)
+            for job in instance.jobs
+        ]
+    )
+
+
+def add_processor(instance: MultiprocessorInstance) -> MultiprocessorInstance:
+    """The same jobs on one more identical processor (a pure relaxation)."""
+    return MultiprocessorInstance(
+        jobs=instance.jobs, num_processors=instance.num_processors + 1
+    )
+
+
+def relabel_processors(
+    schedule: MultiprocessorSchedule, permutation: Dict[int, int]
+) -> MultiprocessorSchedule:
+    """Permute processor labels of a schedule (processors are identical)."""
+    return MultiprocessorSchedule(
+        instance=schedule.instance,
+        assignment={
+            job: (permutation[proc], t)
+            for job, (proc, t) in schedule.assignment.items()
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# relations
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class MetamorphicRelation:
+    """One named transform plus its per-objective value oracle.
+
+    ``directions`` maps each objective to ``"equal"``, ``"non_increasing"``
+    or ``"non_decreasing"`` (of the optimal value under the transform);
+    objectives absent from the map are not covered by the relation.
+    ``feasibility`` is ``"equal"`` when the transform preserves feasibility
+    exactly, ``"relaxation"`` when it can only turn infeasible into feasible.
+    """
+
+    name: str
+    transform: Callable[[Problem, random.Random], Optional[Problem]]
+    directions: Dict[str, str]
+    feasibility: str = "equal"
+
+
+def _with_instance(problem: Problem, instance) -> Problem:
+    return Problem(
+        objective=problem.objective,
+        instance=instance,
+        alpha=problem.alpha,
+        max_gaps=problem.max_gaps,
+    )
+
+
+def _shift_transform(problem: Problem, rng: random.Random) -> Problem:
+    return _with_instance(problem, shift_instance(problem.instance, rng.randint(1, 23)))
+
+
+def _permute_transform(problem: Problem, rng: random.Random) -> Optional[Problem]:
+    n = len(problem.instance.jobs)
+    if n < 2:
+        return None
+    permutation = list(range(n))
+    rng.shuffle(permutation)
+    return _with_instance(problem, permute_jobs(problem.instance, permutation))
+
+
+def _widen_transform(problem: Problem, rng: random.Random) -> Optional[Problem]:
+    if isinstance(problem.instance, MultiIntervalInstance):
+        return None
+    return _with_instance(
+        problem, widen_windows(problem.instance, rng.randint(1, 4))
+    )
+
+
+def _dilate_transform(problem: Problem, rng: random.Random) -> Optional[Problem]:
+    if not isinstance(problem.instance, MultiIntervalInstance):
+        return None
+    return _with_instance(
+        problem, dilate_instance(problem.instance, rng.randint(2, 4))
+    )
+
+
+def _add_processor_transform(problem: Problem, rng: random.Random) -> Optional[Problem]:
+    if not isinstance(problem.instance, MultiprocessorInstance):
+        return None
+    return _with_instance(problem, add_processor(problem.instance))
+
+
+ALL_RELATIONS: List[MetamorphicRelation] = [
+    MetamorphicRelation(
+        name="time-shift",
+        transform=_shift_transform,
+        directions={"gaps": "equal", "power": "equal", "throughput": "equal"},
+    ),
+    MetamorphicRelation(
+        name="job-permutation",
+        transform=_permute_transform,
+        directions={"gaps": "equal", "power": "equal", "throughput": "equal"},
+    ),
+    MetamorphicRelation(
+        name="window-widening",
+        transform=_widen_transform,
+        directions={"gaps": "non_increasing", "power": "non_increasing"},
+        feasibility="relaxation",
+    ),
+    MetamorphicRelation(
+        name="time-dilation",
+        transform=_dilate_transform,
+        directions={
+            "gaps": "non_decreasing",
+            "power": "non_decreasing",
+            "throughput": "non_increasing",
+        },
+    ),
+    MetamorphicRelation(
+        name="extra-processor",
+        transform=_add_processor_transform,
+        directions={"gaps": "non_increasing", "power": "non_increasing"},
+        feasibility="relaxation",
+    ),
+]
+
+
+# ---------------------------------------------------------------------------
+# checking
+# ---------------------------------------------------------------------------
+def _exact_solver_for(problem: Problem) -> Optional[str]:
+    """An exact solver for ``problem``, or None when only heuristics exist.
+
+    The interval DPs cover one-interval and multiprocessor instances; for
+    multi-interval instances (and for throughput) only the brute-force
+    oracles are exact, so they are used when the instance is small enough
+    to enumerate and skipped otherwise.
+    """
+    instance = problem.instance
+    if problem.objective == "throughput":
+        if (
+            isinstance(instance, MultiIntervalInstance)
+            and estimated_enumeration_cost(problem) <= THROUGHPUT_BRUTE_FORCE_LIMIT
+        ):
+            return "brute-force-throughput"
+        return None
+    if isinstance(instance, MultiIntervalInstance):
+        if estimated_enumeration_cost(problem) > BRUTE_FORCE_LIMIT:
+            return None
+        return "brute-force-gaps" if problem.objective == "gaps" else "brute-force-power"
+    return "gap-dp" if problem.objective == "gaps" else "power-dp"
+
+
+def _compare(
+    relation: MetamorphicRelation,
+    direction: str,
+    base: SolveResult,
+    transformed: SolveResult,
+) -> List[str]:
+    issues: List[str] = []
+    if relation.feasibility == "equal" and base.feasible != transformed.feasible:
+        issues.append(
+            f"{relation.name}: feasibility changed "
+            f"({base.feasible} -> {transformed.feasible})"
+        )
+        return issues
+    if relation.feasibility == "relaxation" and base.feasible and not transformed.feasible:
+        issues.append(f"{relation.name}: relaxation turned a feasible instance infeasible")
+        return issues
+    if not base.feasible or not transformed.feasible:
+        return issues
+    a, b = float(base.value), float(transformed.value)
+    if direction == "equal" and not values_close(a, b):
+        issues.append(f"{relation.name}: optimal value changed ({a} -> {b})")
+    elif direction == "non_increasing" and b > a + TOLERANCE:
+        issues.append(f"{relation.name}: value increased under a relaxation ({a} -> {b})")
+    elif direction == "non_decreasing" and b < a - TOLERANCE:
+        issues.append(f"{relation.name}: value decreased ({a} -> {b})")
+    return issues
+
+
+def check_relation(
+    problem: Problem,
+    relation: MetamorphicRelation,
+    rng: Optional[random.Random] = None,
+    solver: Optional[str] = None,
+    base_result: Optional[SolveResult] = None,
+) -> List[str]:
+    """Check one relation on one problem; returns a list of issues (empty = ok).
+
+    ``base_result`` lets callers that check several relations on the same
+    problem (e.g. :func:`run_metamorphic`) solve the untransformed problem
+    once instead of once per relation; it must come from the same ``solver``.
+    """
+    rng = rng or random.Random(0)
+    direction = relation.directions.get(problem.objective)
+    if direction is None:
+        return []
+    transformed = relation.transform(problem, rng)
+    if transformed is None:
+        return []
+    solver = solver or _exact_solver_for(problem)
+    if solver is None:
+        return []
+    base = base_result if base_result is not None else solve(problem, solver=solver)
+    after = solve(transformed, solver=solver)
+    return _compare(relation, direction, base, after)
+
+
+def check_processor_relabeling(
+    problem: Problem, result: SolveResult, rng: Optional[random.Random] = None
+) -> List[str]:
+    """Schedule-level invariances of a returned multiprocessor schedule.
+
+    Two checks, both applicable to any solver's output (they live on
+    schedules, not on optima), and neither a tautology:
+
+    * **processor relabeling** — a bijective relabeling of the identical
+      processors must leave the schedule valid (a permutation cannot change
+      any per-processor busy-time multiset, so only the relabeling/validation
+      machinery itself is under test here);
+    * **Lemma 1 staircase** — re-stacking the jobs of each time column onto
+      the lowest-numbered processors must keep the schedule valid and must
+      not *increase* the total gap count.  This is the normalization every
+      exact solver relies on, checked against the solver's actual output.
+    """
+    if not isinstance(result.schedule, MultiprocessorSchedule):
+        return []
+    rng = rng or random.Random(0)
+    p = result.schedule.instance.num_processors
+    require_complete = problem.objective != "throughput"
+    issues: List[str] = []
+
+    labels = list(range(1, p + 1))
+    shuffled = labels[:]
+    rng.shuffle(shuffled)
+    relabeled = relabel_processors(result.schedule, dict(zip(labels, shuffled)))
+    if not relabeled.is_valid(require_complete=require_complete):
+        issues.append("processor-relabeling: relabeled schedule is invalid")
+
+    stair = result.schedule.staircase()
+    if not stair.is_valid(require_complete=require_complete):
+        issues.append("staircase: normalized schedule is invalid")
+        return issues
+    before_gaps = sum(
+        independent_gap_count(ts)
+        for ts in result.schedule.busy_times_by_processor().values()
+    )
+    after_gaps = sum(
+        independent_gap_count(ts) for ts in stair.busy_times_by_processor().values()
+    )
+    if after_gaps > before_gaps:
+        issues.append(
+            f"staircase: normalization increased the gap count "
+            f"({before_gaps} -> {after_gaps}), violating Lemma 1"
+        )
+    return issues
+
+
+def run_metamorphic(
+    problem: Problem,
+    rng: Optional[random.Random] = None,
+    relations: Optional[List[MetamorphicRelation]] = None,
+    base_result: Optional[SolveResult] = None,
+) -> List[str]:
+    """Check every applicable relation on ``problem``; returns all issues.
+
+    The untransformed problem is solved once and shared across relations
+    (the exact solver choice depends only on the problem); callers that
+    already hold that solver's result (e.g. the differential harness)
+    can pass it as ``base_result`` to skip even that solve.
+    """
+    rng = rng or random.Random(0)
+    solver = _exact_solver_for(problem)
+    if solver is None:
+        return []
+    base = base_result if base_result is not None else solve(problem, solver=solver)
+    issues: List[str] = []
+    for relation in relations or ALL_RELATIONS:
+        issues.extend(
+            check_relation(problem, relation, rng=rng, solver=solver, base_result=base)
+        )
+    return issues

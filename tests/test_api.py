@@ -197,3 +197,63 @@ class TestSolveResults:
 
         result = solve(Problem(objective="gaps", instance=one_interval))
         assert isinstance(result.schedule, Schedule)
+
+
+class TestInfeasibleUniformity:
+    """Satellite: every solver reports infeasibility identically through the façade."""
+
+    CLASH = OneIntervalInstance.from_pairs([(0, 0), (0, 0)])
+
+    def test_every_capable_solver_returns_the_uniform_envelope(self):
+        problem = Problem(objective="gaps", instance=self.CLASH)
+        for spec in capable_solvers(problem):
+            result = solve(problem, solver=spec.name)
+            assert result.status == "infeasible", spec.name
+            assert result.value is None and result.schedule is None, spec.name
+            assert result.solver == spec.name
+
+    def test_on_infeasible_raise(self):
+        problem = Problem(objective="gaps", instance=self.CLASH)
+        with pytest.raises(InfeasibleInstanceError):
+            solve(problem, on_infeasible="raise")
+
+    def test_on_infeasible_raise_is_uniform_across_solvers(self):
+        problem = Problem(objective="gaps", instance=self.CLASH)
+        for spec in capable_solvers(problem):
+            with pytest.raises(InfeasibleInstanceError):
+                solve(problem, solver=spec.name, on_infeasible="raise")
+
+    def test_on_infeasible_rejects_unknown_mode(self):
+        problem = Problem(objective="gaps", instance=self.CLASH)
+        with pytest.raises(ValueError):
+            solve(problem, on_infeasible="whatever")
+
+    def test_raise_for_status_on_feasible_returns_self(self):
+        instance = OneIntervalInstance.from_pairs([(0, 2)])
+        result = solve(Problem(objective="gaps", instance=instance))
+        assert result.raise_for_status() is result
+
+    def test_adapter_raising_infeasible_is_normalized(self):
+        from repro.api import SolveResult
+        from repro.api.registry import _REGISTRY, register_solver
+
+        name = "test-raising-solver"
+
+        @register_solver(
+            name,
+            objective="gaps",
+            kind="baseline",
+            instance_types=(OneIntervalInstance,),
+        )
+        def _raising(problem):
+            raise InfeasibleInstanceError("adapter-style raise")
+
+        try:
+            result = solve(
+                Problem(objective="gaps", instance=self.CLASH), solver=name
+            )
+            assert result.status == "infeasible"
+            assert result.value is None and result.schedule is None
+            assert result.solver == name
+        finally:
+            _REGISTRY.pop(name, None)

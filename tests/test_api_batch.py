@@ -74,3 +74,50 @@ class TestSolveBatch:
     def test_workers_one_is_serial(self):
         problems = generated_workload(3)
         assert solve_batch(problems, workers=1) == solve_batch(problems)
+
+
+class TestErrorPaths:
+    """Satellite coverage: worker exception propagation and degenerate inputs."""
+
+    def test_unknown_solver_raises_serially(self):
+        from repro.core.exceptions import SolverError
+
+        problems = generated_workload(2)
+        with pytest.raises(SolverError):
+            solve_batch(problems, solver="no-such-solver")
+
+    def test_worker_exception_propagates_from_pool(self):
+        from repro.core.exceptions import SolverError
+
+        problems = generated_workload(4)
+        with pytest.raises(SolverError):
+            solve_batch(problems, solver="no-such-solver", workers=2)
+
+    def test_incapable_solver_propagates_from_pool(self):
+        from repro.core.exceptions import SolverError
+
+        # greedy-gap only accepts OneIntervalInstance; the workload mixes in
+        # multiprocessor and multi-interval problems, so a worker must raise.
+        problems = generated_workload(6)
+        with pytest.raises(SolverError):
+            solve_batch(problems, solver="greedy-gap", workers=2)
+
+    def test_empty_batch_with_many_workers(self):
+        assert solve_batch([], workers=8) == []
+
+    def test_single_problem_with_many_workers(self):
+        problems = generated_workload(1)
+        assert solve_batch(problems, workers=8) == [solve(problems[0])]
+
+    def test_workers_one_equals_workers_n(self):
+        problems = generated_workload(15)
+        assert solve_batch(problems, workers=1) == solve_batch(problems, workers=3)
+
+    def test_infeasible_problems_survive_the_pool(self):
+        from repro.api import OneIntervalInstance
+
+        clash = OneIntervalInstance.from_pairs([(0, 0), (0, 0)])
+        problems = [Problem(objective="gaps", instance=clash)] * 3
+        for result in solve_batch(problems, workers=2):
+            assert result.status == "infeasible"
+            assert result.value is None and result.schedule is None

@@ -148,3 +148,46 @@ class TestErrorHandling:
         instance = OneIntervalInstance.from_pairs([(0, 2), (1, 3)])
         problem = Problem(objective="gaps", instance=instance)
         assert to_json(problem) == to_json(from_json(to_json(problem)))
+
+
+class TestEdgeCases:
+    """Satellite coverage: empty instances, unicode names, integer alpha."""
+
+    def test_empty_one_interval_instance(self):
+        roundtrip(OneIntervalInstance([]))
+
+    def test_empty_multiprocessor_instance(self):
+        roundtrip(MultiprocessorInstance(jobs=[], num_processors=3))
+
+    def test_empty_multi_interval_instance(self):
+        roundtrip(MultiIntervalInstance([]))
+
+    def test_unicode_job_names(self):
+        jobs = [
+            Job(release=0, deadline=3, name="作业-α"),
+            Job(release=1, deadline=4, name="tâche £√"),
+        ]
+        instance = roundtrip(OneIntervalInstance(jobs))
+        assert instance.jobs[0].name == "作业-α"
+        # names survive the JSON text form (ensure_ascii escaping round-trips)
+        assert from_json(to_json(instance)).jobs[1].name == "tâche £√"
+
+    def test_alpha_as_int_normalizes_to_float(self):
+        instance = OneIntervalInstance.from_pairs([(0, 2)])
+        problem = Problem(objective="power", instance=instance, alpha=3)
+        assert isinstance(problem.alpha, float)
+        restored = roundtrip(problem)
+        assert isinstance(restored.alpha, float)
+        # a hand-written payload with a bare JSON integer also decodes
+        payload = to_dict(problem)
+        payload["alpha"] = 3
+        assert from_dict(payload) == problem
+
+    def test_empty_schedule_round_trip(self):
+        instance = OneIntervalInstance([])
+        roundtrip(Schedule(instance=instance, assignment={}))
+
+    def test_solving_an_empty_instance_round_trips(self):
+        result = solve(Problem(objective="gaps", instance=OneIntervalInstance([])))
+        assert result.value == 0
+        roundtrip(result)

@@ -156,3 +156,85 @@ class TestSolveSubcommand:
             main(["--version"])
         assert excinfo.value.code == 0
         assert __version__ in capsys.readouterr().out
+
+
+class TestVerifyCommand:
+    def make_file(self, tmp_path, obj, name="payload.json"):
+        path = tmp_path / name
+        path.write_text(to_json(obj))
+        return str(path)
+
+    def test_verify_problem_file(self, tmp_path, capsys):
+        instance = MultiprocessorInstance.from_pairs(
+            [(0, 1), (0, 1), (5, 6)], num_processors=2
+        )
+        path = self.make_file(tmp_path, Problem(objective="gaps", instance=instance))
+        code = main(["verify", "--input", path])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "consistency matrix: OK" in out
+        assert "gap-dp" in out and "certified" in out
+
+    def test_verify_bare_instance_with_flags(self, tmp_path, capsys):
+        instance = MultiprocessorInstance.from_pairs([(0, 2), (1, 3)], num_processors=1)
+        path = self.make_file(tmp_path, instance)
+        code = main(["verify", "--input", path, "--objective", "power", "--alpha", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "power-dp" in out
+
+    def test_verify_infeasible_instance_is_consistent(self, tmp_path, capsys):
+        instance = MultiprocessorInstance.from_pairs(
+            [(0, 0), (0, 0), (0, 0)], num_processors=2
+        )
+        path = self.make_file(tmp_path, instance)
+        code = main(["verify", "--input", path, "--objective", "gaps"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "infeasible" in out
+
+    def test_verify_bad_file_is_usage_error(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{\"type\": \"nope\"}")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["verify", "--input", str(path)])
+        assert excinfo.value.code == 2
+
+
+class TestFuzzCommand:
+    def test_fuzz_green_run(self, capsys):
+        code = main(["fuzz", "--seed", "0", "--n", "30"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "OK" in out and "30 problems" in out
+
+    def test_fuzz_objective_filter(self, capsys):
+        code = main(["fuzz", "--seed", "1", "--n", "9", "--objective", "gaps"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "objectives=gaps:" in out
+
+    def test_fuzz_replay_round_trip(self, tmp_path, capsys):
+        from repro.api import OneIntervalInstance, to_dict
+        from repro.verify import FuzzFailure, save_corpus
+
+        instance = OneIntervalInstance.from_pairs([(0, 2), (1, 3)])
+        failure = FuzzFailure(
+            index=0,
+            kind="differential",
+            objective="gaps",
+            generator="uniform",
+            issues=["stale issue"],
+            problem=to_dict(Problem(objective="gaps", instance=instance)),
+        )
+        corpus = tmp_path / "corpus.json"
+        save_corpus([failure], str(corpus))
+        code = main(["fuzz", "--replay", str(corpus)])
+        out = capsys.readouterr().out
+        assert code == 0  # the solvers agree, so the replayed case is green
+        assert "1 problems" in out
+
+    def test_fuzz_replay_missing_corpus_is_usage_error(self, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fuzz", "--replay", str(tmp_path / "missing.json")])
+        assert excinfo.value.code == 2

@@ -1,0 +1,101 @@
+"""The PR-1 deprecation shims: warn exactly once per call, match the façade."""
+
+import warnings
+
+import pytest
+
+import repro
+from repro.api import (
+    MultiIntervalInstance,
+    MultiprocessorInstance,
+    OneIntervalInstance,
+    Problem,
+    solve,
+)
+
+ONE = OneIntervalInstance.from_pairs([(0, 3), (1, 5), (10, 13)])
+MP = MultiprocessorInstance.from_pairs(
+    [(0, 1), (0, 1), (1, 2), (5, 6)], num_processors=2
+)
+MI = MultiIntervalInstance.from_time_lists([[0, 1], [1, 2], [5, 6], [6, 7]])
+
+
+def call_counting_warnings(func, *args, **kwargs):
+    """Invoke ``func`` and return (result, [DeprecationWarning instances])."""
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        result = func(*args, **kwargs)
+    return result, [w for w in caught if issubclass(w.category, DeprecationWarning)]
+
+
+SHIM_CASES = [
+    ("solve_multiprocessor_gap", (MP,), {}),
+    ("solve_multiprocessor_power", (MP, 2.0), {}),
+    ("minimize_gaps_single_processor", (ONE,), {}),
+    ("minimize_power_single_processor", (ONE, 2.0), {}),
+    ("approximate_power_schedule", (MI, 1.0), {}),
+    ("greedy_throughput_schedule", (MI, 2), {}),
+]
+
+
+class TestWarningDiscipline:
+    @pytest.mark.parametrize("name,args,kwargs", SHIM_CASES, ids=lambda c: str(c)[:40])
+    def test_exactly_one_warning_per_call(self, name, args, kwargs):
+        shim = getattr(repro, name)
+        _result, warned = call_counting_warnings(shim, *args, **kwargs)
+        assert len(warned) == 1, f"{name} emitted {len(warned)} DeprecationWarnings"
+        message = str(warned[0].message)
+        assert name in message and "repro.api" in message
+
+    @pytest.mark.parametrize("name,args,kwargs", SHIM_CASES, ids=lambda c: str(c)[:40])
+    def test_warns_on_every_call_not_just_the_first(self, name, args, kwargs):
+        shim = getattr(repro, name)
+        for _ in range(2):
+            _result, warned = call_counting_warnings(shim, *args, **kwargs)
+            assert len(warned) == 1
+
+
+class TestShimsMatchFacade:
+    def test_solve_multiprocessor_gap(self):
+        legacy, _ = call_counting_warnings(repro.solve_multiprocessor_gap, MP)
+        facade = solve(Problem(objective="gaps", instance=MP))
+        assert legacy.feasible == facade.feasible
+        assert legacy.num_gaps == facade.value
+
+    def test_solve_multiprocessor_power(self):
+        legacy, _ = call_counting_warnings(repro.solve_multiprocessor_power, MP, 2.0)
+        facade = solve(Problem(objective="power", instance=MP, alpha=2.0))
+        assert legacy.power == pytest.approx(facade.value)
+
+    def test_minimize_gaps_single_processor(self):
+        legacy, _ = call_counting_warnings(repro.minimize_gaps_single_processor, ONE)
+        facade = solve(Problem(objective="gaps", instance=ONE))
+        assert legacy.num_gaps == facade.value
+
+    def test_minimize_power_single_processor(self):
+        legacy, _ = call_counting_warnings(
+            repro.minimize_power_single_processor, ONE, 2.0
+        )
+        facade = solve(Problem(objective="power", instance=ONE, alpha=2.0))
+        assert legacy.power == pytest.approx(facade.value)
+
+    def test_approximate_power_schedule(self):
+        legacy, _ = call_counting_warnings(repro.approximate_power_schedule, MI, 1.0)
+        facade = solve(
+            Problem(objective="power", instance=MI, alpha=1.0), solver="power-approx"
+        )
+        assert legacy.power == pytest.approx(facade.value)
+        assert legacy.guarantee_factor == pytest.approx(facade.guarantee_factor)
+
+    def test_greedy_throughput_schedule(self):
+        legacy, _ = call_counting_warnings(repro.greedy_throughput_schedule, MI, 2)
+        facade = solve(Problem(objective="throughput", instance=MI, max_gaps=2))
+        assert legacy.num_scheduled == facade.value
+
+    def test_infeasible_shim_matches_facade_envelope(self):
+        clash = OneIntervalInstance.from_pairs([(0, 0), (0, 0)])
+        legacy, _ = call_counting_warnings(repro.minimize_gaps_single_processor, clash)
+        facade = solve(Problem(objective="gaps", instance=clash))
+        assert not legacy.feasible
+        assert facade.status == "infeasible"
+        assert facade.value is None and facade.schedule is None

@@ -102,3 +102,68 @@ class TestWorkloadGenerators:
             periodic_sensor_instance(0, 1, 5, 1)
         with pytest.raises(InvalidInstanceError):
             batch_queue_instance(0, 0.5, 1, 10)
+
+
+class TestStructuredFuzzers:
+    """The repro.generators.fuzzers families added with the verify subsystem."""
+
+    def test_tight_window_windows_are_short(self):
+        from repro.generators import tight_window_instance
+
+        instance = tight_window_instance(num_jobs=10, horizon=8, seed=1)
+        assert instance.num_jobs == 10
+        assert all(job.window_length <= 2 for job in instance.jobs)
+
+    def test_clustered_release_stays_in_horizon(self):
+        from repro.generators import clustered_release_instance
+
+        instance = clustered_release_instance(
+            num_jobs=12, horizon=10, num_clusters=2, seed=3
+        )
+        assert all(0 <= j.release <= j.deadline <= 9 for j in instance.jobs)
+
+    def test_hall_violating_is_infeasible_by_construction(self):
+        from repro.core.feasibility import is_feasible, is_feasible_multiproc
+        from repro.generators import hall_violating_instance
+        from repro.matching import hall_violation
+
+        for seed in range(25):
+            instance = hall_violating_instance(num_jobs=5, horizon=8, seed=seed)
+            assert not is_feasible(instance)
+            assert hall_violation([j.window for j in instance.jobs]) is not None
+        multi = hall_violating_instance(
+            num_jobs=6, horizon=7, seed=0, num_processors=2
+        )
+        assert not is_feasible_multiproc(multi)
+
+    def test_hall_violating_bumps_tiny_job_counts(self):
+        from repro.generators import hall_violating_instance
+
+        # overloading a width-1 window on 3 processors takes 4 jobs, so a
+        # 2-job request is raised to the documented minimum p - slack
+        instance = hall_violating_instance(
+            num_jobs=2, horizon=6, seed=0, num_processors=3, slack=-1
+        )
+        assert instance.num_jobs == 4
+
+    def test_tight_feasible_knife_edge(self):
+        from repro.generators import hall_violating_instance
+
+        # slack=0 keeps demand == capacity on the chosen window
+        instance = hall_violating_instance(num_jobs=4, horizon=6, seed=2, slack=0)
+        assert instance.num_jobs >= 4
+
+    def test_generators_are_seed_deterministic(self):
+        from repro.generators import (
+            clustered_release_instance,
+            hall_violating_instance,
+            tight_window_instance,
+        )
+
+        for gen in (tight_window_instance, clustered_release_instance):
+            assert gen(num_jobs=6, horizon=8, seed=9) == gen(
+                num_jobs=6, horizon=8, seed=9
+            )
+        assert hall_violating_instance(num_jobs=6, horizon=8, seed=9) == (
+            hall_violating_instance(num_jobs=6, horizon=8, seed=9)
+        )

@@ -1,0 +1,266 @@
+"""Certificate checkers: genuine results certify, corrupted results are caught."""
+
+import pytest
+
+from repro.api import (
+    MultiIntervalInstance,
+    MultiprocessorInstance,
+    OneIntervalInstance,
+    Problem,
+    SolveResult,
+    solve,
+)
+from repro.core.schedule import MultiprocessorSchedule, Schedule
+from repro.verify import (
+    certify_result,
+    independent_gap_count,
+    independent_power_cost,
+    recompute_value,
+)
+
+
+@pytest.fixture
+def gap_problem():
+    return Problem(
+        objective="gaps",
+        instance=OneIntervalInstance.from_pairs([(0, 3), (1, 5), (10, 13)]),
+    )
+
+
+@pytest.fixture
+def power_problem():
+    return Problem(
+        objective="power",
+        instance=OneIntervalInstance.from_pairs([(0, 3), (1, 5), (10, 13)]),
+        alpha=2.0,
+    )
+
+
+@pytest.fixture
+def multiproc_problem():
+    return Problem(
+        objective="gaps",
+        instance=MultiprocessorInstance.from_pairs(
+            [(0, 1), (0, 1), (1, 2), (5, 6)], num_processors=2
+        ),
+    )
+
+
+class TestIndependentAccounting:
+    def test_gap_count_basics(self):
+        assert independent_gap_count([]) == 0
+        assert independent_gap_count([3]) == 0
+        assert independent_gap_count([0, 1, 2]) == 0
+        assert independent_gap_count([0, 2]) == 1
+        assert independent_gap_count([0, 5, 9]) == 2
+
+    def test_power_cost_basics(self):
+        assert independent_power_cost([], 3.0) == 0.0
+        # one busy slot: 1 unit of work plus the first wake-up
+        assert independent_power_cost([4], 3.0) == 4.0
+        # short gap cheaper than sleeping: stay active
+        assert independent_power_cost([0, 2], 3.0) == 2.0 + 3.0 + 1.0
+        # long gap: sleep and pay alpha again
+        assert independent_power_cost([0, 10], 3.0) == 2.0 + 3.0 + 3.0
+
+    def test_agrees_with_core_accounting(self):
+        from repro.core.schedule import gaps_of_busy_times, power_cost_of_busy_times
+
+        for busy in [[0, 1, 5], [2], [], [0, 3, 4, 9, 17]]:
+            assert independent_gap_count(busy) == gaps_of_busy_times(busy)
+            for alpha in (0.0, 1.0, 2.5):
+                assert independent_power_cost(busy, alpha) == pytest.approx(
+                    power_cost_of_busy_times(busy, alpha)
+                )
+
+
+class TestGenuineResultsCertify:
+    def test_all_solvers_all_objectives(self, gap_problem, power_problem):
+        mi = Problem(
+            objective="throughput",
+            instance=MultiIntervalInstance.from_time_lists(
+                [[0, 1], [1, 2], [5, 6], [6, 7]]
+            ),
+            max_gaps=2,
+        )
+        for problem, solver in [
+            (gap_problem, "gap-dp"),
+            (gap_problem, "greedy-gap"),
+            (gap_problem, "online-edf"),
+            (gap_problem, "brute-force-gaps"),
+            (power_problem, "power-dp"),
+            (power_problem, "brute-force-power"),
+            (mi, "throughput-greedy"),
+            (mi, "brute-force-throughput"),
+        ]:
+            result = solve(problem, solver=solver)
+            cert = certify_result(problem, result)
+            assert cert.ok, f"{solver}: {cert.issues}"
+            assert cert.recomputed_value == pytest.approx(result.value)
+
+    def test_genuine_infeasible_certifies(self):
+        problem = Problem(
+            objective="gaps",
+            instance=OneIntervalInstance.from_pairs([(0, 0), (0, 0)]),
+        )
+        cert = certify_result(problem, solve(problem))
+        assert cert.ok, cert.issues
+
+    def test_multiproc_result_certifies(self, multiproc_problem):
+        cert = certify_result(multiproc_problem, solve(multiproc_problem))
+        assert cert.ok, cert.issues
+
+
+class TestCorruptedResultsAreCaught:
+    def test_tampered_value(self, gap_problem):
+        result = solve(gap_problem)
+        result.value = result.value + 1
+        cert = certify_result(gap_problem, result)
+        assert not cert.ok
+        assert any("recomputed" in issue for issue in cert.issues)
+
+    def test_job_moved_outside_window(self, gap_problem):
+        result = solve(gap_problem)
+        result.schedule.assignment[2] = 0  # job 2 has window (10, 13)
+        cert = certify_result(gap_problem, result)
+        assert not cert.ok
+        assert any("disallowed" in issue for issue in cert.issues)
+
+    def test_double_booked_time(self, gap_problem):
+        result = solve(gap_problem)
+        times = dict(result.schedule.assignment)
+        times[1] = times[0]
+        result.schedule.assignment = times
+        cert = certify_result(gap_problem, result)
+        assert not cert.ok
+        assert any("double-booked" in issue for issue in cert.issues)
+
+    def test_missing_job(self, gap_problem):
+        result = solve(gap_problem)
+        del result.schedule.assignment[0]
+        cert = certify_result(gap_problem, result)
+        assert not cert.ok
+        assert any("not scheduled" in issue for issue in cert.issues)
+
+    def test_unknown_job_index(self, gap_problem):
+        result = solve(gap_problem)
+        result.schedule.assignment[99] = 20
+        cert = certify_result(gap_problem, result)
+        assert not cert.ok
+
+    def test_false_infeasibility_claim(self, gap_problem):
+        fake = SolveResult(
+            status="infeasible", objective="gaps", value=None, schedule=None
+        )
+        cert = certify_result(gap_problem, fake)
+        assert not cert.ok
+        assert any("matching oracle" in issue for issue in cert.issues)
+
+    def test_feasible_claim_without_schedule(self, gap_problem):
+        fake = SolveResult(status="optimal", objective="gaps", value=0, schedule=None)
+        cert = certify_result(gap_problem, fake)
+        assert not cert.ok
+
+    def test_objective_mismatch(self, gap_problem):
+        result = solve(gap_problem)
+        result.objective = "power"
+        cert = certify_result(gap_problem, result)
+        assert not cert.ok
+
+    def test_bogus_guarantee_factor(self, gap_problem):
+        result = solve(gap_problem)
+        result.guarantee_factor = 0.5
+        cert = certify_result(gap_problem, result)
+        assert not cert.ok
+
+    def test_multiproc_invalid_processor(self, multiproc_problem):
+        result = solve(multiproc_problem)
+        job = next(iter(result.schedule.assignment))
+        _proc, t = result.schedule.assignment[job]
+        result.schedule.assignment[job] = (99, t)
+        cert = certify_result(multiproc_problem, result)
+        assert not cert.ok
+
+    def test_multiproc_tampered_power(self):
+        problem = Problem(
+            objective="power",
+            instance=MultiprocessorInstance.from_pairs(
+                [(0, 1), (0, 1), (4, 5)], num_processors=2
+            ),
+            alpha=1.5,
+        )
+        result = solve(problem)
+        result.value = result.value * 2 + 1
+        cert = certify_result(problem, result)
+        assert not cert.ok
+
+    def test_raise_on_failure(self, gap_problem):
+        result = solve(gap_problem)
+        result.value = 17
+        with pytest.raises(AssertionError):
+            certify_result(gap_problem, result).raise_on_failure()
+
+
+class TestEnvelopeInvariant:
+    def test_infeasible_result_cannot_carry_value(self):
+        with pytest.raises(ValueError):
+            SolveResult(status="infeasible", objective="gaps", value=3, schedule=None)
+
+    def test_infeasible_result_cannot_carry_schedule(self):
+        instance = OneIntervalInstance.from_pairs([(0, 1)])
+        schedule = Schedule(instance=instance, assignment={0: 0})
+        with pytest.raises(ValueError):
+            SolveResult(
+                status="infeasible", objective="gaps", value=None, schedule=schedule
+            )
+
+    def test_throughput_budget_violation_is_caught(self):
+        instance = MultiIntervalInstance.from_time_lists([[0], [4], [9]])
+        problem = Problem(objective="throughput", instance=instance, max_gaps=1)
+        fake = SolveResult(
+            status="approximate",
+            objective="throughput",
+            value=3,
+            schedule=Schedule(instance=instance, assignment={0: 0, 1: 4, 2: 9}),
+        )
+        cert = certify_result(problem, fake)
+        assert not cert.ok
+        assert any("budget" in issue for issue in cert.issues)
+
+    def test_throughput_within_budget_certifies(self):
+        instance = MultiIntervalInstance.from_time_lists([[0], [4], [9]])
+        problem = Problem(objective="throughput", instance=instance, max_gaps=2)
+        ok_result = SolveResult(
+            status="approximate",
+            objective="throughput",
+            value=3,
+            schedule=Schedule(instance=instance, assignment={0: 0, 1: 4, 2: 9}),
+        )
+        assert certify_result(problem, ok_result).ok
+
+    def test_throughput_never_infeasible(self):
+        problem = Problem(
+            objective="throughput",
+            instance=MultiIntervalInstance.from_time_lists([[0], [0]]),
+            max_gaps=1,
+        )
+        fake = SolveResult(
+            status="infeasible", objective="throughput", value=None, schedule=None
+        )
+        cert = certify_result(problem, fake)
+        assert not cert.ok
+
+
+class TestRecomputeValue:
+    def test_throughput_counts_scheduled_jobs(self):
+        instance = MultiIntervalInstance.from_time_lists([[0], [0], [5]])
+        problem = Problem(objective="throughput", instance=instance, max_gaps=1)
+        result = solve(problem, solver="throughput-greedy")
+        assert recompute_value(problem, result) == result.schedule.num_scheduled
+
+    def test_none_without_schedule(self):
+        problem = Problem(
+            objective="gaps", instance=OneIntervalInstance.from_pairs([(0, 1)])
+        )
+        fake = SolveResult(status="optimal", objective="gaps", value=0, schedule=None)
+        assert recompute_value(problem, fake) is None

@@ -1,0 +1,163 @@
+"""Metamorphic transforms and their equality/monotonicity oracles."""
+
+import random
+
+import pytest
+
+from repro.api import (
+    MultiIntervalInstance,
+    MultiprocessorInstance,
+    OneIntervalInstance,
+    Problem,
+    solve,
+)
+from repro.verify import (
+    ALL_RELATIONS,
+    add_processor,
+    check_processor_relabeling,
+    check_relation,
+    dilate_instance,
+    permute_jobs,
+    relabel_processors,
+    run_metamorphic,
+    shift_instance,
+    widen_windows,
+)
+from repro.verify.metamorphic import _compare, MetamorphicRelation
+
+
+@pytest.fixture
+def one_interval():
+    return OneIntervalInstance.from_pairs([(0, 3), (1, 5), (10, 13)])
+
+
+@pytest.fixture
+def multiproc():
+    return MultiprocessorInstance.from_pairs(
+        [(0, 1), (0, 1), (1, 2), (5, 6)], num_processors=2
+    )
+
+
+@pytest.fixture
+def multi_interval():
+    return MultiIntervalInstance.from_time_lists([[0, 1], [1, 2], [5, 6], [6, 7]])
+
+
+class TestTransforms:
+    def test_shift_one_interval(self, one_interval):
+        shifted = shift_instance(one_interval, 7)
+        assert shifted.jobs[0].window == (7, 10)
+        assert shifted.jobs[0].name == one_interval.jobs[0].name
+
+    def test_shift_multiproc_keeps_processors(self, multiproc):
+        shifted = shift_instance(multiproc, 3)
+        assert isinstance(shifted, MultiprocessorInstance)
+        assert shifted.num_processors == 2
+
+    def test_shift_multi_interval(self, multi_interval):
+        shifted = shift_instance(multi_interval, 5)
+        assert shifted.jobs[0].times == (5, 6)
+
+    def test_permute_is_a_reordering(self, one_interval):
+        permuted = permute_jobs(one_interval, [2, 0, 1])
+        assert permuted.jobs[0].window == one_interval.jobs[2].window
+        assert sorted(j.window for j in permuted.jobs) == sorted(
+            j.window for j in one_interval.jobs
+        )
+
+    def test_widen_extends_deadlines(self, one_interval):
+        widened = widen_windows(one_interval, 4)
+        assert widened.jobs[0].window == (0, 7)
+
+    def test_dilate_scales_times(self, multi_interval):
+        dilated = dilate_instance(multi_interval, 3)
+        assert dilated.jobs[0].times == (0, 3)
+        assert dilated.jobs[2].times == (15, 18)
+
+    def test_add_processor(self, multiproc):
+        assert add_processor(multiproc).num_processors == 3
+
+    def test_relabel_processors(self, multiproc):
+        result = solve(Problem(objective="gaps", instance=multiproc))
+        relabeled = relabel_processors(result.schedule, {1: 2, 2: 1})
+        assert relabeled.is_valid()
+        assert relabeled.num_gaps() == result.schedule.num_gaps()
+
+
+class TestOraclesHoldForExactSolvers:
+    @pytest.mark.parametrize("relation", ALL_RELATIONS, ids=lambda r: r.name)
+    def test_gap_problem(self, relation, one_interval):
+        problem = Problem(objective="gaps", instance=one_interval)
+        assert check_relation(problem, relation, rng=random.Random(1)) == []
+
+    @pytest.mark.parametrize("relation", ALL_RELATIONS, ids=lambda r: r.name)
+    def test_power_problem(self, relation, multiproc):
+        problem = Problem(objective="power", instance=multiproc, alpha=1.5)
+        assert check_relation(problem, relation, rng=random.Random(2)) == []
+
+    @pytest.mark.parametrize("relation", ALL_RELATIONS, ids=lambda r: r.name)
+    def test_throughput_problem(self, relation, multi_interval):
+        problem = Problem(objective="throughput", instance=multi_interval, max_gaps=1)
+        assert check_relation(problem, relation, rng=random.Random(3)) == []
+
+    def test_run_metamorphic_aggregates(self, one_interval):
+        problem = Problem(objective="gaps", instance=one_interval)
+        assert run_metamorphic(problem, rng=random.Random(4)) == []
+
+    def test_infeasible_instance_is_handled(self):
+        clash = OneIntervalInstance.from_pairs([(0, 0), (0, 0)])
+        problem = Problem(objective="gaps", instance=clash)
+        assert run_metamorphic(problem, rng=random.Random(5)) == []
+
+
+class TestOracleViolationsAreCaught:
+    def _fake(self, value, feasible=True):
+        from repro.api import SolveResult
+
+        if not feasible:
+            return SolveResult(
+                status="infeasible", objective="gaps", value=None, schedule=None
+            )
+        from repro.core.schedule import Schedule
+
+        instance = OneIntervalInstance.from_pairs([(0, 0)])
+        return SolveResult(
+            status="optimal",
+            objective="gaps",
+            value=value,
+            schedule=Schedule(instance=instance, assignment={0: 0}),
+        )
+
+    def test_equality_violation(self):
+        relation = ALL_RELATIONS[0]  # time-shift: equal
+        issues = _compare(relation, "equal", self._fake(1), self._fake(2))
+        assert issues and "changed" in issues[0]
+
+    def test_monotonicity_violation(self):
+        relation = next(r for r in ALL_RELATIONS if r.name == "window-widening")
+        issues = _compare(relation, "non_increasing", self._fake(1), self._fake(3))
+        assert issues and "increased" in issues[0]
+
+    def test_relaxation_cannot_lose_feasibility(self):
+        relation = next(r for r in ALL_RELATIONS if r.name == "extra-processor")
+        issues = _compare(
+            relation, "non_increasing", self._fake(1), self._fake(0, feasible=False)
+        )
+        assert issues and "infeasible" in issues[0]
+
+    def test_feasibility_flip_flagged_for_equal_relations(self):
+        relation = ALL_RELATIONS[0]
+        issues = _compare(relation, "equal", self._fake(1), self._fake(0, feasible=False))
+        assert issues and "feasibility" in issues[0]
+
+
+class TestProcessorRelabeling:
+    def test_clean_schedule_passes(self, multiproc):
+        problem = Problem(objective="power", instance=multiproc, alpha=2.0)
+        result = solve(problem)
+        assert check_processor_relabeling(problem, result, rng=random.Random(6)) == []
+
+    def test_single_processor_result_is_skipped(self, one_interval):
+        problem = Problem(objective="gaps", instance=one_interval)
+        result = solve(problem)
+        assert check_processor_relabeling(problem, result) == []

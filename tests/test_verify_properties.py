@@ -1,0 +1,118 @@
+"""Hypothesis property suites for the verification subsystem.
+
+These complement the seeded fuzz driver with shrinking: when a property
+fails, hypothesis minimizes the counterexample, which the fixed-seed fuzzer
+cannot do.
+"""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.api import (
+    MultiprocessorInstance,
+    OneIntervalInstance,
+    Problem,
+    solve,
+)
+from repro.verify import (
+    certify_result,
+    independent_gap_count,
+    independent_power_cost,
+    run_differential,
+    run_metamorphic,
+)
+
+SLOW_OK = settings(
+    max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+window_pairs = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=7), st.integers(min_value=0, max_value=3)
+    ),
+    min_size=1,
+    max_size=5,
+)
+
+busy_sets = st.sets(st.integers(min_value=0, max_value=30), max_size=12)
+
+
+class TestAccountingProperties:
+    @given(busy_sets)
+    def test_gap_count_matches_span_count(self, busy):
+        from repro.core.schedule import spans_of_busy_times
+
+        expected = max(0, len(spans_of_busy_times(busy)) - 1)
+        assert independent_gap_count(busy) == expected
+
+    @given(busy_sets, st.sampled_from([0.0, 0.5, 1.0, 3.0]))
+    def test_power_cost_bounds(self, busy, alpha):
+        cost = independent_power_cost(busy, alpha)
+        if not busy:
+            assert cost == 0.0
+        else:
+            n = len(busy)
+            assert cost >= n + alpha - 1e-9  # work plus first wake-up
+            assert cost <= n + alpha + (n - 1) * alpha + 1e-9  # sleep every gap
+
+    @given(busy_sets, st.integers(min_value=1, max_value=50))
+    def test_accounting_is_shift_invariant(self, busy, delta):
+        shifted = {t + delta for t in busy}
+        assert independent_gap_count(busy) == independent_gap_count(shifted)
+        assert independent_power_cost(busy, 2.0) == independent_power_cost(shifted, 2.0)
+
+
+class TestDifferentialProperties:
+    @SLOW_OK
+    @given(window_pairs, st.integers(min_value=1, max_value=2))
+    def test_gaps_matrix_holds(self, raw_windows, p):
+        pairs = [(r, r + length) for r, length in raw_windows]
+        instance = MultiprocessorInstance.from_pairs(pairs, num_processors=p)
+        report = run_differential(Problem(objective="gaps", instance=instance))
+        assert report.ok, report.issues
+
+    @SLOW_OK
+    @given(window_pairs, st.sampled_from([0.5, 1.0, 2.0, 4.0]))
+    def test_power_matrix_holds(self, raw_windows, alpha):
+        pairs = [(r, r + length) for r, length in raw_windows]
+        instance = OneIntervalInstance.from_pairs(pairs)
+        report = run_differential(
+            Problem(objective="power", instance=instance, alpha=alpha)
+        )
+        assert report.ok, report.issues
+
+    @SLOW_OK
+    @given(window_pairs)
+    def test_every_result_certifies(self, raw_windows):
+        pairs = [(r, r + length) for r, length in raw_windows]
+        problem = Problem(
+            objective="gaps", instance=OneIntervalInstance.from_pairs(pairs)
+        )
+        for solver in ("gap-dp", "greedy-gap", "online-edf"):
+            result = solve(problem, solver=solver)
+            cert = certify_result(problem, result)
+            assert cert.ok, f"{solver}: {cert.issues}"
+
+
+class TestMetamorphicProperties:
+    @SLOW_OK
+    @given(window_pairs, st.integers(min_value=0, max_value=2**31 - 1))
+    def test_relations_hold_for_gaps(self, raw_windows, meta_seed):
+        pairs = [(r, r + length) for r, length in raw_windows]
+        problem = Problem(
+            objective="gaps", instance=OneIntervalInstance.from_pairs(pairs)
+        )
+        assert run_metamorphic(problem, rng=random.Random(meta_seed)) == []
+
+    @SLOW_OK
+    @given(window_pairs, st.sampled_from([0.0, 1.0, 2.5]))
+    def test_relations_hold_for_power(self, raw_windows, alpha):
+        pairs = [(r, r + length) for r, length in raw_windows]
+        problem = Problem(
+            objective="power",
+            instance=MultiprocessorInstance.from_pairs(pairs, num_processors=2),
+            alpha=alpha,
+        )
+        assert run_metamorphic(problem, rng=random.Random(0)) == []
