@@ -199,6 +199,11 @@ def solve(
         )
     result.wall_time = time.perf_counter() - start
     result.solver = spec.name
+    # Uniform exactness marker: adapters that know more (e.g. the interval-DP
+    # engine's metadata) set it themselves; everyone else gets it derived
+    # from the result status, so callers never have to special-case solvers.
+    if result.feasible and "exact" not in result.extra:
+        result.extra["exact"] = result.status == "optimal"
     if on_infeasible == "raise":
         result.raise_for_status()
     return result

@@ -44,8 +44,8 @@ from ..core.jobs import (
     MultiprocessorInstance,
     OneIntervalInstance,
 )
-from ..core.multiproc_gap_dp import solve_multiprocessor_gap
-from ..core.multiproc_power_dp import solve_multiprocessor_power
+from ..core.multiproc_gap_dp import MultiprocessorGapSolver
+from ..core.multiproc_power_dp import MultiprocessorPowerSolver
 from ..core.online import online_gap_schedule
 from ..core.power_approx import approximate_power_schedule
 from ..core.throughput import greedy_throughput_schedule
@@ -87,8 +87,10 @@ def _solve_gap_dp(problem: Problem) -> SolveResult:
             value=single.num_gaps,
             schedule=single.schedule,
             guarantee_factor=1.0,
+            extra={"exact": True, "engine": single.engine},
         )
-    solution = solve_multiprocessor_gap(instance)
+    solver = MultiprocessorGapSolver(instance)
+    solution = solver.solve()
     if not solution.feasible:
         return _infeasible(problem)
     return SolveResult(
@@ -97,7 +99,11 @@ def _solve_gap_dp(problem: Problem) -> SolveResult:
         value=solution.num_gaps,
         schedule=solution.schedule,
         guarantee_factor=1.0,
-        extra={"num_processors": instance.num_processors},
+        extra={
+            "num_processors": instance.num_processors,
+            "exact": True,
+            "engine": solver.engine_metadata(),
+        },
     )
 
 
@@ -121,9 +127,10 @@ def _solve_power_dp(problem: Problem) -> SolveResult:
             value=single.power,
             schedule=single.schedule,
             guarantee_factor=1.0,
-            extra={"alpha": alpha},
+            extra={"alpha": alpha, "exact": True, "engine": single.engine},
         )
-    solution = solve_multiprocessor_power(instance, alpha=alpha)
+    solver = MultiprocessorPowerSolver(instance, alpha=alpha)
+    solution = solver.solve()
     if not solution.feasible:
         return _infeasible(problem)
     return SolveResult(
@@ -132,7 +139,12 @@ def _solve_power_dp(problem: Problem) -> SolveResult:
         value=solution.power,
         schedule=solution.schedule,
         guarantee_factor=1.0,
-        extra={"alpha": alpha, "num_processors": instance.num_processors},
+        extra={
+            "alpha": alpha,
+            "num_processors": instance.num_processors,
+            "exact": True,
+            "engine": solver.engine_metadata(),
+        },
     )
 
 

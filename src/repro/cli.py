@@ -27,7 +27,14 @@ Sub-commands
 ``fuzz``
     Seedable differential fuzzing over generated instances
     (``--seed --n --objective``), with a replayable JSON failure corpus
-    (``--corpus`` to save, ``--replay`` to re-run saved failures).
+    (``--corpus`` to save, ``--replay`` to re-run saved failures) and
+    ``--profile`` to print the interval-DP engine's aggregated pruning and
+    memoization statistics.
+``bench``
+    Benchmark the interval-DP engine against the frozen pre-engine solvers
+    over the generator families and write a schema-validated JSON report
+    (``BENCH_dp.json``); ``--quick`` is the CI smoke matrix and ``--check``
+    validates an existing report's schema without re-running anything.
 
 All solving goes through :mod:`repro.api`; this module never imports a
 solver implementation directly.
@@ -205,6 +212,37 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-metamorphic",
         action="store_true",
         help="skip the metamorphic relation checks",
+    )
+    fuzz_cmd.add_argument(
+        "--profile",
+        action="store_true",
+        help="print aggregated interval-DP engine pruning/memo statistics",
+    )
+
+    bench = sub.add_parser(
+        "bench",
+        help="benchmark the interval-DP engine against the frozen seed solvers",
+    )
+    bench.add_argument(
+        "--quick", action="store_true", help="reduced CI smoke matrix"
+    )
+    bench.add_argument(
+        "--out",
+        help="report path (default BENCH_dp.json; BENCH_smoke.json with --quick, "
+        "so a quick run never overwrites the committed full-matrix report)",
+    )
+    bench.add_argument("--repeats", type=int, help="timed runs per case (default 3)")
+    bench.add_argument("--warmup", type=int, help="untimed warmup runs (default 1)")
+    bench.add_argument("--seed", type=int, default=0, help="instance generator seed")
+    bench.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="time the engine only (no seed-solver comparison)",
+    )
+    bench.add_argument(
+        "--check",
+        metavar="PATH",
+        help="validate an existing report's schema and exit (runs nothing)",
     )
 
     return parser
@@ -437,6 +475,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 corpus_path=args.corpus,
             )
         print(report.summary())
+        if args.profile:
+            for line in report.engine_profile():
+                print(line)
         for failure in report.failures:
             print(f"  case {failure.index} [{failure.kind}/{failure.objective}"
                   f"/{failure.generator}]:")
@@ -445,6 +486,66 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.corpus:
             print(f"corpus written to {args.corpus}")
         return 0 if report.ok else 1
+
+    if args.command == "bench":
+        from .perf import BenchSchemaError, run_bench, validate_report_file, write_report
+
+        if args.check is not None:
+            conflicting = [
+                flag
+                for flag, value in [
+                    ("--repeats", args.repeats),
+                    ("--warmup", args.warmup),
+                    ("--out", args.out),
+                ]
+                if value is not None
+            ]
+            if args.quick or args.no_baseline or args.seed != 0 or conflicting:
+                parser.error(
+                    "--check only validates an existing report; drop the other flags"
+                )
+            try:
+                data = validate_report_file(args.check)
+            except OSError as exc:
+                parser.error(f"cannot read report {args.check!r}: {exc}")
+            except (BenchSchemaError, ValueError) as exc:
+                print(f"schema drift in {args.check}: {exc}")
+                return 1
+            print(
+                f"{args.check}: schema ok "
+                f"({len(data['cases'])} cases, quick={data['quick']})"
+            )
+            return 0
+
+        def _print_case(record) -> None:
+            engine_ms = record["engine"]["median"] * 1000.0
+            if record["baseline"] is not None:
+                base_ms = record["baseline"]["median"] * 1000.0
+                print(
+                    f"{record['name']:<28} engine {engine_ms:>9.2f} ms   "
+                    f"seed {base_ms:>9.2f} ms   speedup {record['speedup']:.2f}x"
+                )
+            else:
+                print(f"{record['name']:<28} engine {engine_ms:>9.2f} ms")
+
+        if args.repeats is not None and args.repeats < 1:
+            parser.error("--repeats must be >= 1")
+        if args.warmup is not None and args.warmup < 0:
+            parser.error("--warmup must be >= 0")
+        out = args.out
+        if out is None:
+            out = "BENCH_smoke.json" if args.quick else "BENCH_dp.json"
+        report = run_bench(
+            quick=args.quick,
+            repeats=args.repeats,
+            warmup=args.warmup,
+            seed=args.seed,
+            baseline=not args.no_baseline,
+            progress=_print_case,
+        )
+        write_report(report, out)
+        print(f"report written to {out}")
+        return 0
 
     if args.command == "experiment":
         if args.which.lower() == "all":

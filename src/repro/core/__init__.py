@@ -37,6 +37,14 @@ from .baptiste import (
     minimize_gaps_single_processor,
     minimize_power_single_processor,
 )
+from .interval_dp import (
+    ENGINE_NAME,
+    ENGINE_VERSION,
+    EngineStats,
+    GapObjective,
+    IntervalDPEngine,
+    PowerObjective,
+)
 from .multiproc_gap_dp import GapSolution, MultiprocessorGapSolver, solve_multiprocessor_gap
 from .multiproc_power_dp import (
     MultiprocessorPowerSolver,
@@ -72,6 +80,12 @@ __all__ = [
     "BaptistePowerResult",
     "minimize_gaps_single_processor",
     "minimize_power_single_processor",
+    "ENGINE_NAME",
+    "ENGINE_VERSION",
+    "EngineStats",
+    "IntervalDPEngine",
+    "GapObjective",
+    "PowerObjective",
     "MultiprocessorGapSolver",
     "GapSolution",
     "solve_multiprocessor_gap",

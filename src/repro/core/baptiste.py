@@ -5,9 +5,11 @@ unit jobs with release times and deadlines on one machine while minimizing
 the number of idle periods (gaps); the same dynamic program also minimizes
 power with wake-up cost ``alpha``.  The paper's Theorem 1/2 dynamic program
 contains Baptiste's algorithm as the special case ``p = 1``, and this module
-exposes exactly that specialization with a single-processor-friendly API:
-schedules are returned as plain :class:`~repro.core.schedule.Schedule`
-objects (job -> time) instead of multiprocessor schedules.
+exposes exactly that specialization by binding the gap/power objectives onto
+the shared :class:`~repro.core.interval_dp.IntervalDPEngine` at ``p = 1``.
+The engine's ``job -> time`` assignment is used directly, so schedules come
+back as plain :class:`~repro.core.schedule.Schedule` objects with no
+multiprocessor round-trip.
 
 These functions are the exact baselines used throughout the experiment
 harness (e.g. against the greedy 3-approximation of [FHKN06] and against the
@@ -17,12 +19,12 @@ online lower-bound family).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Union
+from typing import Dict, Optional, Tuple, Union
 
+from .dp_profile import IntervalDecomposition
 from .exceptions import InfeasibleInstanceError
+from .interval_dp import GapObjective, IntervalDPEngine, PowerObjective
 from .jobs import MultiprocessorInstance, OneIntervalInstance
-from .multiproc_gap_dp import MultiprocessorGapSolver
-from .multiproc_power_dp import MultiprocessorPowerSolver
 from .schedule import Schedule
 
 __all__ = [
@@ -40,6 +42,7 @@ class BaptisteGapResult:
     feasible: bool
     num_gaps: Optional[int]
     schedule: Optional[Schedule]
+    engine: Optional[Dict] = None
 
 
 @dataclass
@@ -50,6 +53,7 @@ class BaptistePowerResult:
     power: Optional[float]
     schedule: Optional[Schedule]
     alpha: float
+    engine: Optional[Dict] = None
 
 
 def _as_single_processor(
@@ -65,6 +69,24 @@ def _as_single_processor(
     return instance
 
 
+def _run_engine(
+    single: OneIntervalInstance, objective, use_full_horizon: bool
+) -> Tuple[Optional[Tuple[float, Schedule]], Dict]:
+    """Run the shared engine at p = 1 and lift the assignment to a Schedule."""
+    engine = IntervalDPEngine(
+        IntervalDecomposition(
+            single.to_multiprocessor(1), use_full_horizon=use_full_horizon
+        ),
+        objective,
+    )
+    outcome = engine.solve()
+    if not outcome.feasible:
+        return None, engine.metadata()
+    schedule = Schedule(instance=single, assignment=dict(outcome.assignment))
+    schedule.validate()
+    return (outcome.value, schedule), engine.metadata()
+
+
 def minimize_gaps_single_processor(
     instance: Union[OneIntervalInstance, MultiprocessorInstance],
     use_full_horizon: bool = False,
@@ -75,17 +97,14 @@ def minimize_gaps_single_processor(
     jobs cannot all be scheduled.
     """
     single = _as_single_processor(instance)
-    solver = MultiprocessorGapSolver(
-        single.to_multiprocessor(1), use_full_horizon=use_full_horizon
-    )
-    solution = solver.solve()
-    if not solution.feasible or solution.schedule is None:
-        return BaptisteGapResult(feasible=False, num_gaps=None, schedule=None)
-    assignment = {job: t for job, (_proc, t) in solution.schedule.assignment.items()}
-    schedule = Schedule(instance=single, assignment=assignment)
-    schedule.validate()
+    solved, metadata = _run_engine(single, GapObjective(1), use_full_horizon)
+    if solved is None:
+        return BaptisteGapResult(
+            feasible=False, num_gaps=None, schedule=None, engine=metadata
+        )
+    value, schedule = solved
     return BaptisteGapResult(
-        feasible=True, num_gaps=solution.num_gaps, schedule=schedule
+        feasible=True, num_gaps=int(value), schedule=schedule, engine=metadata
     )
 
 
@@ -96,17 +115,16 @@ def minimize_power_single_processor(
 ) -> BaptistePowerResult:
     """Minimize the power cost of a single-processor one-interval instance."""
     single = _as_single_processor(instance)
-    solver = MultiprocessorPowerSolver(
-        single.to_multiprocessor(1), alpha=alpha, use_full_horizon=use_full_horizon
-    )
-    solution = solver.solve()
-    if not solution.feasible or solution.schedule is None:
+    solved, metadata = _run_engine(single, PowerObjective(1, alpha), use_full_horizon)
+    if solved is None:
         return BaptistePowerResult(
-            feasible=False, power=None, schedule=None, alpha=float(alpha)
+            feasible=False, power=None, schedule=None, alpha=float(alpha), engine=metadata
         )
-    assignment = {job: t for job, (_proc, t) in solution.schedule.assignment.items()}
-    schedule = Schedule(instance=single, assignment=assignment)
-    schedule.validate()
+    value, schedule = solved
     return BaptistePowerResult(
-        feasible=True, power=solution.power, schedule=schedule, alpha=float(alpha)
+        feasible=True,
+        power=float(value),
+        schedule=schedule,
+        alpha=float(alpha),
+        engine=metadata,
     )

@@ -1,0 +1,770 @@
+"""The unified interval dynamic-programming engine behind Theorems 1 and 2.
+
+Both exact results of the paper — multiprocessor gap minimization
+(Theorem 1) and multiprocessor power minimization (Theorem 2) — are the same
+Baptiste-style interval dynamic program over the state space
+``(t1, t2, k, q, b1, b2)``: schedule the ``k`` earliest-deadline jobs
+released in the candidate-column interval ``[t1, t2]``, with ``q``
+processors at column ``t2`` already taken by enclosing subproblems and
+boundary parameters ``b1`` / ``b2`` at the two end columns.  The recursion
+branches on the execution column ``t'`` of the latest-deadline job; jobs
+released after ``t'`` form the right subproblem and the rest the left one.
+
+What differs between the two theorems is only the *value algebra*:
+
+* :class:`GapObjective` — the subproblem value is a vector indexed by the
+  exact maximum column occupancy of the subinterval (so the root can apply
+  the ``- used processors`` correction of Lemma 1 without losing
+  optimality); boundary parameters count the subproblem's *own* jobs at the
+  end columns and splits pay a run-start charge.
+* :class:`PowerObjective` — the subproblem value is a scalar power cost;
+  boundary parameters count *active* processors and splits pay the
+  closed-form bridging charge ``min(stretch, alpha)`` per processor active
+  on both sides of an idle stretch (Lemma 2).
+
+This module owns everything the objectives share:
+
+* **Iterative evaluation.**  States are evaluated by an explicit stack of
+  suspended generators (a trampoline), so deep instances never trip
+  Python's recursion limit — the engine runs in O(1) native stack depth
+  regardless of instance size.
+* **Flat interned state keys.**  States are packed into a single integer
+  (mixed-radix over column indices, job count, and boundary digits), which
+  is markedly cheaper to hash than 6-tuples in the memoization hot path.
+* **Hall-condition pre-pruning.**  Before a subproblem's boundary variants
+  are expanded, a necessary feasibility condition (prefix/suffix Hall
+  counts of the node jobs against candidate-column capacity) is checked
+  once per ``(t1, t2, k)`` triple; a violation proves every boundary
+  variant of the state is empty and prunes the whole family.
+* **Split plans.**  The branch-on-``t'`` bookkeeping (candidate columns of
+  the latest-deadline job, left/right job counts, adjacency and stretch of
+  consecutive columns) is computed once per ``(t1, t2, k)`` and shared by
+  all ``(q, b1, b2)`` boundary variants, instead of being re-derived per
+  state as the pre-engine solvers did.
+* **Dominance pruning.**  For vector-valued objectives, table entries that
+  are dominated (higher cost at lower-or-equal maximum occupancy) can never
+  win at the root and are dropped, shrinking the cross-product loops of
+  every enclosing split.
+* **Schedule reconstruction.**  Memoised decisions are replayed
+  iteratively into a ``job -> time`` assignment and stacked onto
+  processors in staircase order.
+
+The solvers in :mod:`repro.core.multiproc_gap_dp` and
+:mod:`repro.core.multiproc_power_dp` are thin bindings of these objectives
+onto the engine; :mod:`repro.verify` certifies engine results against brute
+force and :mod:`repro.perf` measures the engine against the frozen
+pre-engine solvers.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .dp_profile import IntervalDecomposition
+from .exceptions import InvalidInstanceError
+from .jobs import MultiprocessorInstance
+from .schedule import MultiprocessorSchedule
+
+__all__ = [
+    "ENGINE_NAME",
+    "ENGINE_VERSION",
+    "EngineStats",
+    "EngineOutcome",
+    "GapObjective",
+    "PowerObjective",
+    "IntervalDPEngine",
+    "staircase_schedule",
+]
+
+ENGINE_NAME = "interval-dp"
+ENGINE_VERSION = "1.0"
+
+_MISSING = object()
+
+#: Node job-count below which the Hall pre-check is skipped (see _node_jobs).
+_HALL_CHECK_MIN_JOBS = 4
+
+# Choice records stored in the memo tables; reconstruction replays them.
+_EMPTY_CHOICE = ("empty",)
+
+
+@dataclass
+class EngineStats:
+    """Counters describing one engine run (exposed as JSON-native ints)."""
+
+    states_computed: int = 0
+    memo_hits: int = 0
+    hall_pruned: int = 0
+    dominance_dropped: int = 0
+    plans_built: int = 0
+    peak_stack_depth: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "states_computed": self.states_computed,
+            "memo_hits": self.memo_hits,
+            "hall_pruned": self.hall_pruned,
+            "dominance_dropped": self.dominance_dropped,
+            "plans_built": self.plans_built,
+            "peak_stack_depth": self.peak_stack_depth,
+        }
+
+
+@dataclass
+class EngineOutcome:
+    """Raw outcome of one engine run: optimal value and a witnessing assignment."""
+
+    feasible: bool
+    value: Optional[float]
+    assignment: Optional[Dict[int, int]]  # job index -> execution time
+    stats: EngineStats
+
+
+@dataclass(frozen=True)
+class _SplitPlan:
+    """Branch bookkeeping for one ``(i1, i2, k)`` node, shared by its boundary variants.
+
+    ``splits`` holds one tuple per candidate column ``t' < t2`` of the
+    latest-deadline job: ``(col_idx, t_prime, k_left, k_right, idx_next,
+    adjacent, stretch, right_touches_t2)``.
+    """
+
+    jmax: int
+    right_end: bool
+    splits: Tuple[Tuple[int, int, int, int, int, bool, int, bool], ...]
+
+
+class GapObjective:
+    """Value algebra of Theorem 1: gap count via occupancy-indexed vectors.
+
+    Boundary parameters count the subproblem's own jobs at the end columns;
+    the table maps each achievable exact maximum occupancy ``M`` to the
+    cheapest run-start count, and the root applies ``+ b1 - M`` (first
+    column's run-starts minus used processors).
+    """
+
+    name = "gaps"
+
+    def __init__(self, num_processors: int) -> None:
+        self.p = num_processors
+        self._charges: Dict = {}
+
+    def invalid_state(self, k: int, q: int, b1: int, b2: int) -> bool:
+        return b1 > k or b2 > k or q + b2 > self.p
+
+    def pre_branch_invalid(self, k: int, b1: int, b2: int) -> bool:
+        return b1 + b2 > k
+
+    def single_column(self, k, q, b1, b2, node_jobs, t):
+        # All k jobs execute at the single column; boundary counts must agree.
+        if b1 != b2 or b1 != k:
+            return ()
+        if k == 0:
+            return ((q, (0, _EMPTY_CHOICE)),)
+        if k + q > self.p:
+            return ()
+        return ((k + q, (0, ("column", node_jobs, t))),)
+
+    def empty_interval(self, q, b1, b2, t1, t2):
+        if b1 != 0 or b2 != 0:
+            return ()
+        return ((q, (q, _EMPTY_CHOICE)),)
+
+    def right_end_child(self, k, q, b1, b2):
+        if b2 < 1 or q + 1 > self.p:
+            return None
+        return (q + 1, b1, b2 - 1)
+
+    def left_boundary(self, b1: int, at_left_edge: bool) -> Optional[int]:
+        # The latest-deadline job running at t1 counts toward the boundary.
+        if at_left_edge:
+            return b1 - 1 if b1 >= 1 else None
+        return b1
+
+    def left_b2_values(self) -> Iterable[int]:
+        # Own jobs of the left child at t'; jmax occupies one more slot (q=1).
+        return range(self.p)
+
+    def right_b1_values(self, q: int, right_touches_t2: bool) -> Iterable[int]:
+        extra = q if right_touches_t2 else 0
+        return range(self.p - extra + 1)
+
+    def charge_matrix(self, q, adjacent, stretch, right_touches_t2):
+        # Run-starts at the first column of the right subproblem: busy slots
+        # there not already busy at the previous column (jmax's column when
+        # the columns are adjacent, an idle column otherwise).  The matrix is
+        # indexed ``[left_b2][right_b1]`` and cached — it only depends on the
+        # external occupancy carried over and the column adjacency.
+        extra = q if right_touches_t2 else 0
+        key = (extra, adjacent)
+        matrix = self._charges.get(key)
+        if matrix is None:
+            matrix = [
+                [
+                    max(0, rb + extra - (lb + 1 if adjacent else 0))
+                    for rb in range(self.p + 1)
+                ]
+                for lb in range(self.p + 1)
+            ]
+            self._charges[key] = matrix
+        return matrix
+
+    def root_total(self, b1: int, label: int, cost: int) -> Optional[int]:
+        if label <= 0:
+            return None
+        return b1 + cost - label
+
+    def prune_table(self, table: Dict, stats: EngineStats) -> None:
+        # Occupancy labels combine by max up the split tree and the final
+        # max is subtracted exactly once at the root, so an entry's value in
+        # any enclosing context is (its cost + context costs) - max(M, X)
+        # for some context label X.  An entry (M2, c2) with 1 <= M2 < M1
+        # therefore dominates (M1, c1) whenever c2 - M2 <= c1 - M1: for
+        # X <= M2 the root-corrected values tie at worst, and for X > M2 the
+        # lower-occupancy entry is strictly better (it never raises the
+        # combined max).  M = 0 entries are exempt on both sides — they can
+        # be unusable at the root (the max must be positive), so they
+        # neither dominate nor get dominated safely.
+        if len(table) < 2:
+            return
+        best_corrected = None
+        for label in sorted(table):
+            if label < 1:
+                continue
+            corrected = table[label][0] - label
+            if best_corrected is not None and corrected >= best_corrected:
+                del table[label]
+                stats.dominance_dropped += 1
+            else:
+                best_corrected = corrected
+
+    def zero_value(self):
+        return 0
+
+
+class PowerObjective:
+    """Value algebra of Theorem 2: scalar power with the min(stretch, alpha) bridge.
+
+    Boundary parameters count *active* processors at the end columns; idle
+    stretches between consecutive candidate columns are folded into the
+    closed-form bridging charge, which keeps the DP on the polynomial
+    candidate-column set.
+    """
+
+    name = "power"
+
+    def __init__(self, num_processors: int, alpha: float) -> None:
+        if alpha < 0:
+            raise InvalidInstanceError(f"alpha must be non-negative, got {alpha}")
+        self.p = num_processors
+        self.alpha = float(alpha)
+        self._charges: Dict = {}
+
+    def bridge_charge(self, stretch: int, active_before: int, active_after: int) -> float:
+        """Cost of the columns strictly between two boundary columns plus the right column.
+
+        Each processor active on both sides either stays active through the
+        stretch (cost ``stretch``) or sleeps and wakes (cost ``alpha``);
+        processors newly active on the right pay a wake-up.  The active time
+        of the right boundary column itself is included.
+        """
+        shared = active_before if active_before < active_after else active_after
+        newly_active = active_after - active_before
+        if newly_active < 0:
+            newly_active = 0
+        return (
+            float(active_after)
+            + shared * min(float(stretch), self.alpha)
+            + newly_active * self.alpha
+        )
+
+    def invalid_state(self, k: int, q: int, b1: int, b2: int) -> bool:
+        return q > b2
+
+    def pre_branch_invalid(self, k: int, b1: int, b2: int) -> bool:
+        return False
+
+    def single_column(self, k, q, b1, b2, node_jobs, t):
+        if b1 != b2 or k + q > b1:
+            return ()
+        if k == 0:
+            return ((0, (0.0, _EMPTY_CHOICE)),)
+        return ((0, (0.0, ("column", node_jobs, t))),)
+
+    def empty_interval(self, q, b1, b2, t1, t2):
+        return ((0, (self.bridge_charge(t2 - t1 - 1, b1, b2), _EMPTY_CHOICE)),)
+
+    def right_end_child(self, k, q, b1, b2):
+        if q + 1 > b2:
+            return None
+        return (q + 1, b1, b2)
+
+    def left_boundary(self, b1: int, at_left_edge: bool) -> Optional[int]:
+        return b1
+
+    def left_b2_values(self) -> Iterable[int]:
+        # Total active processors at jmax's column; at least jmax's own.
+        return range(1, self.p + 1)
+
+    def right_b1_values(self, q: int, right_touches_t2: bool) -> Iterable[int]:
+        return range(self.p + 1)
+
+    def charge_matrix(self, q, adjacent, stretch, right_touches_t2):
+        # Bridging cost indexed ``[active_mid][active_next]``; it depends
+        # only on the idle stretch length, so the matrix is cached per stretch.
+        matrix = self._charges.get(stretch)
+        if matrix is None:
+            matrix = [
+                [self.bridge_charge(stretch, lb, rb) for rb in range(self.p + 1)]
+                for lb in range(self.p + 1)
+            ]
+            self._charges[stretch] = matrix
+        return matrix
+
+    def root_total(self, b1: int, label: int, cost: float) -> float:
+        # First-column active processors pay their active time plus a wake-up.
+        return b1 * (1.0 + self.alpha) + cost
+
+    def prune_table(self, table: Dict, stats: EngineStats) -> None:
+        # Scalar tables hold a single label; nothing to prune.
+        return None
+
+    def zero_value(self):
+        return 0.0
+
+
+class IntervalDPEngine:
+    """Parameterized evaluator of the ``(t1, t2, k, q, b1, b2)`` interval DP.
+
+    Parameters
+    ----------
+    decomp:
+        The shared :class:`~repro.core.dp_profile.IntervalDecomposition`
+        (candidate columns and job-set queries).
+    objective:
+        A :class:`GapObjective` or :class:`PowerObjective` (or any object
+        implementing the same value-algebra interface).
+    """
+
+    def __init__(self, decomp: IntervalDecomposition, objective) -> None:
+        self.decomp = decomp
+        self.objective = objective
+        self.p = decomp.num_processors
+        self.stats = EngineStats()
+        self.memo: Dict[int, Dict] = {}
+        self._node_cache: Dict[int, Optional[Tuple[int, ...]]] = {}
+        self._plan_cache: Dict[int, _SplitPlan] = {}
+        # Mixed-radix bases of the flat integer state keys.
+        self._C = len(decomp.columns)
+        self._n1 = len(decomp.jobs) + 1
+        self._P = self.p + 1
+
+    # -- public API -------------------------------------------------------------
+    def solve(self) -> EngineOutcome:
+        """Evaluate the DP at the root and reconstruct an optimal assignment."""
+        obj = self.objective
+        n = self._n1 - 1
+        if n == 0:
+            return EngineOutcome(
+                feasible=True, value=obj.zero_value(), assignment={}, stats=self.stats
+            )
+        i2 = self._C - 1
+        best: Optional[Tuple[float, int, int]] = None  # (total, root key, label)
+        for b1 in range(self.p + 1):
+            for b2 in range(self.p + 1):
+                fields = (0, i2, n, 0, b1, b2)
+                table = self.evaluate(fields)
+                for label, entry in table:
+                    total = obj.root_total(b1, label, entry[0])
+                    if total is None:
+                        continue
+                    if best is None or total < best[0]:
+                        best = (total, self._encode(*fields), label)
+        if best is None:
+            return EngineOutcome(
+                feasible=False, value=None, assignment=None, stats=self.stats
+            )
+        assignment = self._reconstruct(best[1], best[2])
+        return EngineOutcome(
+            feasible=True, value=best[0], assignment=assignment, stats=self.stats
+        )
+
+    def metadata(self) -> Dict:
+        """JSON-native engine identification and pruning/memo statistics."""
+        return {
+            "name": ENGINE_NAME,
+            "version": ENGINE_VERSION,
+            "objective": self.objective.name,
+            "stats": self.stats.as_dict(),
+        }
+
+    # -- state-key packing ------------------------------------------------------
+    def _encode(self, i1: int, i2: int, k: int, q: int, b1: int, b2: int) -> int:
+        P = self._P
+        return ((((i1 * self._C + i2) * self._n1 + k) * P + q) * P + b1) * P + b2
+
+    # -- iterative evaluation ---------------------------------------------------
+    def evaluate(self, fields: Tuple[int, int, int, int, int, int]) -> Dict:
+        """Evaluate one state (and, transitively, everything it depends on).
+
+        The recursion is simulated by an explicit stack of suspended
+        generators: each generator yields the child states it needs, the
+        driver answers from the memo or pushes the child, and a finished
+        generator's return value is memoised and sent to its parent.  Native
+        stack depth stays O(1) no matter how deep the DP nests.
+        """
+        key = self._encode(*fields)
+        memo = self.memo
+        found = memo.get(key, _MISSING)
+        if found is not _MISSING:
+            self.stats.memo_hits += 1
+            return found
+        stats = self.stats
+        leaf = self._leaf_table(*fields)
+        if leaf is not _MISSING:
+            memo[key] = leaf
+            stats.states_computed += 1
+            return leaf
+        stack: List[Tuple[int, object]] = [(key, self._state_gen(*fields))]
+        send_value = None
+        while stack:
+            top_key, gen = stack[-1]
+            try:
+                child_key, child_fields = gen.send(send_value)
+            except StopIteration as done:
+                table = done.value if done.value is not None else ()
+                memo[top_key] = table
+                stats.states_computed += 1
+                stack.pop()
+                send_value = table
+                continue
+            # Terminal and structurally-invalid children are computed inline;
+            # only genuine branch states pay for a suspended generator.
+            table = self._leaf_table(*child_fields)
+            if table is not _MISSING:
+                memo[child_key] = table
+                stats.states_computed += 1
+                send_value = table
+            else:
+                stack.append((child_key, self._state_gen(*child_fields)))
+                if len(stack) > stats.peak_stack_depth:
+                    stats.peak_stack_depth = len(stack)
+                send_value = None
+        return memo[key]
+
+    def _leaf_table(self, i1, i2, k, q, b1, b2):
+        """Direct table for terminal/invalid states, or ``_MISSING`` for branch states."""
+        obj = self.objective
+        p = self.p
+        if k < 0 or q < 0 or b1 < 0 or b2 < 0 or q > p or b1 > p or b2 > p:
+            return ()
+        if obj.invalid_state(k, q, b1, b2):
+            return ()
+        if i1 == i2:
+            node = self._node_jobs(i1, i2, k)
+            if node is None:
+                return ()
+            return obj.single_column(k, q, b1, b2, node[0], self.decomp.columns[i1])
+        if k == 0:
+            return obj.empty_interval(
+                q, b1, b2, self.decomp.columns[i1], self.decomp.columns[i2]
+            )
+        if obj.pre_branch_invalid(k, b1, b2):
+            return ()
+        if self._node_jobs(i1, i2, k) is None:
+            return ()
+        return _MISSING
+
+    def _state_gen(self, i1, i2, k, q, b1, b2):
+        """Generator computing one *branch* state's table, yielding needed children.
+
+        Only created for states :meth:`_leaf_table` classified as branch
+        states, so structural guards have already passed and the node's job
+        set is cached and non-``None``.  Tables are returned as immutable
+        tuples of ``(label, (cost, choice))`` pairs: parents only ever
+        iterate them, and freezing them avoids re-materialising dict views
+        in the combination hot loop.
+        """
+        obj = self.objective
+        columns = self.decomp.columns
+        t1 = columns[i1]
+        t2 = columns[i2]
+        node_jobs, releases = self._node_jobs(i1, i2, k)
+        plan = self._split_plan(i1, i2, k, node_jobs, releases, t1, t2)
+        jmax = plan.jmax
+        best: Dict = {}
+
+        # The generator consults the memo directly and only yields states the
+        # driver actually has to compute; right-child tables are prefetched
+        # once per split instead of once per (left, right) boundary pair.
+        # Memo hits are derived arithmetically (lookups minus misses) so the
+        # hot loop carries no per-lookup counter updates.
+        memo = self.memo
+        lookups = 0
+        misses = 0
+        C, n1, P = self._C, self._n1, self._P
+        base_i1 = i1 * C
+        left_range = obj.left_b2_values()
+        left_len = len(left_range)
+        right_range_inner = obj.right_b1_values(q, False)
+        right_range_touch = obj.right_b1_values(q, True)
+        left_b1_edge = obj.left_boundary(b1, True)
+        left_b1_inner = obj.left_boundary(b1, False)
+
+        # Case t' < t2: split into left [t1, t'] and right [t_next, t2].
+        for (ci, t_prime, k_left, k_right, idx_next, adjacent, stretch, rt2) in plan.splits:
+            left_b1 = left_b1_edge if t_prime == t1 else left_b1_inner
+            if left_b1 is None:
+                continue
+            left_base = ((((base_i1 + ci) * n1 + k_left) * P + 1) * P + left_b1) * P
+            right_base = (((idx_next * C + i2) * n1 + k_right) * P + q) * P
+            # Left subproblems gate the split: when every left boundary is
+            # empty the right subtree is never materialised (matching the
+            # laziness of a plain recursion), and when any is non-empty the
+            # right children are fetched once and shared by all of them.
+            lookups += left_len
+            left_entries = []
+            for left_b2 in left_range:
+                left_key = left_base + left_b2
+                left_table = memo.get(left_key, _MISSING)
+                if left_table is _MISSING:
+                    misses += 1
+                    left_table = yield (
+                        left_key,
+                        (i1, ci, k_left, 1, left_b1, left_b2),
+                    )
+                if left_table:
+                    left_entries.append((left_b2, left_key, left_table))
+            if not left_entries:
+                continue
+            right_range = right_range_touch if rt2 else right_range_inner
+            lookups += len(right_range)
+            right_entries = []
+            for right_b1 in right_range:
+                right_key = (right_base + right_b1) * P + b2
+                right_table = memo.get(right_key, _MISSING)
+                if right_table is _MISSING:
+                    misses += 1
+                    right_table = yield (
+                        right_key,
+                        (idx_next, i2, k_right, q, right_b1, b2),
+                    )
+                if right_table:
+                    right_entries.append((right_b1, right_key, right_table))
+            if not right_entries:
+                continue
+            charges = obj.charge_matrix(q, adjacent, stretch, rt2)
+            for left_b2, left_key, left_table in left_entries:
+                charge_row = charges[left_b2]
+                for right_b1, right_key, right_table in right_entries:
+                    charge = charge_row[right_b1]
+                    for label_l, entry_l in left_table:
+                        cost_l = entry_l[0] + charge
+                        for label_r, entry_r in right_table:
+                            label = label_l if label_l >= label_r else label_r
+                            cost = cost_l + entry_r[0]
+                            cur = best.get(label)
+                            if cur is None or cost < cur[0]:
+                                best[label] = (
+                                    cost,
+                                    (
+                                        "split",
+                                        jmax,
+                                        t_prime,
+                                        left_key,
+                                        label_l,
+                                        right_key,
+                                        label_r,
+                                    ),
+                                )
+
+        # Case t' == t2: the latest-deadline job runs at the right boundary.
+        if plan.right_end:
+            child = obj.right_end_child(k, q, b1, b2)
+            if child is not None:
+                cq, cb1, cb2 = child
+                child_key = (
+                    (((base_i1 + i2) * n1 + (k - 1)) * P + cq) * P + cb1
+                ) * P + cb2
+                lookups += 1
+                child_table = memo.get(child_key, _MISSING)
+                if child_table is _MISSING:
+                    misses += 1
+                    child_table = yield (child_key, (i1, i2, k - 1, cq, cb1, cb2))
+                for label, entry in child_table:
+                    cur = best.get(label)
+                    if cur is None or entry[0] < cur[0]:
+                        best[label] = (
+                            entry[0],
+                            ("right_end", child_key, label, jmax, t2),
+                        )
+
+        self.stats.memo_hits += lookups - misses
+        obj.prune_table(best, self.stats)
+        return tuple(best.items())
+
+    # -- per-(i1, i2, k) caches -------------------------------------------------
+    def _node_jobs(self, i1: int, i2: int, k: int):
+        """The node's ``(job set, sorted releases)``, or ``None`` when pruned.
+
+        ``None`` covers both unreachable states (fewer than ``k`` jobs
+        released in the interval) and Hall-pruned ones.  The sorted release
+        list is shared between the Hall check and the split plan.
+        """
+        cache_key = (i1 * self._C + i2) * self._n1 + k
+        cached = self._node_cache.get(cache_key, _MISSING)
+        if cached is not _MISSING:
+            return cached
+        columns = self.decomp.columns
+        t1, t2 = columns[i1], columns[i2]
+        released = self.decomp.jobs_released_in(t1, t2)
+        if k > len(released):
+            result = None
+        else:
+            node = tuple(released[:k])
+            jobs = self.decomp.jobs
+            releases = sorted(jobs[j].release for j in node)
+            result = (node, releases)
+            # The Hall check costs O(k log C) per (i1, i2, k); below a few
+            # jobs the states it could prune are cheaper than the check.
+            if k >= _HALL_CHECK_MIN_JOBS and not self._hall_feasible(
+                node, releases, t1, t2
+            ):
+                self.stats.hall_pruned += 1
+                result = None
+        self._node_cache[cache_key] = result
+        return result
+
+    def _hall_feasible(
+        self, node_jobs: Tuple[int, ...], releases: List[int], t1: int, t2: int
+    ) -> bool:
+        """Necessary Hall-style feasibility of the node jobs on candidate columns.
+
+        Checks prefix intervals ``[t1, d]`` over clipped deadlines and
+        suffix intervals ``[r, t2]`` over releases (already inside the
+        interval by construction) against capacity ``p`` per candidate
+        column.  A violation proves the state (under *any* boundary
+        parameters) admits no assignment, so the whole ``(q, b1, b2)``
+        family is pruned; passing proves nothing and the state is evaluated
+        normally.
+        """
+        jobs = self.decomp.jobs
+        columns = self.decomp.columns
+        p = self.p
+        lo = bisect_left(columns, t1)
+        hi = bisect_right(columns, t2)
+        # Prefix: node jobs arrive in deadline order, so clipped deadlines
+        # are non-decreasing and prefix counts are positional.
+        for count, j in enumerate(node_jobs, start=1):
+            d = jobs[j].deadline
+            if d > t2:
+                d = t2
+            if count > p * (bisect_right(columns, d, lo, hi) - lo):
+                return False
+        # Suffix: same argument over releases, scanned from the right.
+        for count, r in enumerate(reversed(releases), start=1):
+            if count > p * (hi - bisect_left(columns, r, lo, hi)):
+                return False
+        return True
+
+    def _split_plan(
+        self,
+        i1: int,
+        i2: int,
+        k: int,
+        node_jobs: Tuple[int, ...],
+        releases: List[int],
+        t1: int,
+        t2: int,
+    ) -> _SplitPlan:
+        """Branch bookkeeping for the node, computed once and shared."""
+        cache_key = (i1 * self._C + i2) * self._n1 + k
+        cached = self._plan_cache.get(cache_key)
+        if cached is not None:
+            return cached
+        decomp = self.decomp
+        columns = decomp.columns
+        jmax = node_jobs[-1]
+        candidate_cols = decomp.candidate_columns_for_job(jmax, t1, t2)
+        right_end = bool(candidate_cols) and candidate_cols[-1] == i2
+        splits = []
+        for ci in candidate_cols:
+            t_prime = columns[ci]
+            if t_prime == t2:
+                continue
+            num_right = k - bisect_right(releases, t_prime)
+            k_left = k - 1 - num_right
+            if k_left < 0:
+                continue
+            idx_next = ci + 1
+            t_next = columns[idx_next]
+            splits.append(
+                (
+                    ci,
+                    t_prime,
+                    k_left,
+                    num_right,
+                    idx_next,
+                    t_next == t_prime + 1,
+                    t_next - t_prime - 1,
+                    idx_next == i2,
+                )
+            )
+        plan = _SplitPlan(jmax=jmax, right_end=right_end, splits=tuple(splits))
+        self._plan_cache[cache_key] = plan
+        self.stats.plans_built += 1
+        return plan
+
+    # -- reconstruction ----------------------------------------------------------
+    def _reconstruct(self, key: int, label) -> Dict[int, int]:
+        """Replay memoised decisions into a ``job -> time`` assignment, iteratively."""
+        assignment: Dict[int, int] = {}
+        stack: List[Tuple[int, object]] = [(key, label)]
+        memo = self.memo
+        while stack:
+            state_key, state_label = stack.pop()
+            choice = None
+            for label, entry in memo[state_key]:
+                if label == state_label:
+                    choice = entry[1]
+                    break
+            if choice is None:
+                raise AssertionError("reconstruction reached a pruned table entry")
+            tag = choice[0]
+            if tag == "empty":
+                continue
+            if tag == "column":
+                for job_idx in choice[1]:
+                    assignment[job_idx] = choice[2]
+                continue
+            if tag == "right_end":
+                _tag, child_key, child_label, jmax, t2 = choice
+                assignment[jmax] = t2
+                stack.append((child_key, child_label))
+                continue
+            if tag == "split":
+                _tag, jmax, t_prime, left_key, left_label, right_key, right_label = choice
+                assignment[jmax] = t_prime
+                stack.append((left_key, left_label))
+                stack.append((right_key, right_label))
+                continue
+            raise AssertionError(f"unknown reconstruction tag {tag!r}")
+        return assignment
+
+
+def staircase_schedule(
+    instance: MultiprocessorInstance, times: Dict[int, int]
+) -> MultiprocessorSchedule:
+    """Stack a ``job -> time`` assignment onto processors in staircase order."""
+    by_time: Dict[int, List[int]] = {}
+    for job_idx, t in times.items():
+        by_time.setdefault(t, []).append(job_idx)
+    assignment: Dict[int, Tuple[int, int]] = {}
+    for t, job_indices in by_time.items():
+        for level, job_idx in enumerate(sorted(job_indices), start=1):
+            assignment[job_idx] = (level, t)
+    schedule = MultiprocessorSchedule(instance=instance, assignment=assignment)
+    schedule.validate()
+    return schedule

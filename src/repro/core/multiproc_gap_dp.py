@@ -10,51 +10,32 @@ number of gaps summed over processors.
 
 Algorithm
 ---------
-The solver implements the interval dynamic program of Section 2 of the
-paper, in the occupancy-profile form licensed by Lemma 1 (staircase
-normalization):
+The solver is a thin binding of :class:`~repro.core.interval_dp.GapObjective`
+onto the shared :class:`~repro.core.interval_dp.IntervalDPEngine`: the
+occupancy-profile interval DP of Section 2, in the staircase form licensed
+by Lemma 1, with the subproblem value kept as a vector indexed by the exact
+maximum occupancy so the final ``- (used processors)`` correction can be
+applied at the root.  See :mod:`repro.core.interval_dp` for the state space,
+the branch-on-``t'`` recursion, and the pruning machinery; this module only
+interprets the engine's outcome as a gap count plus a staircase schedule.
 
-* A staircase schedule is described by the number of busy processors per
-  time column.  Its total gap count equals ``(number of run-starts) -
-  (number of used processors)``, where a *run-start* is a column/processor
-  pair that is busy while the previous column is idle on that processor, and
-  the number of used processors equals the maximum column occupancy.
-* Subproblem state ``(t1, t2, k, q, l1, l2)`` exactly as in the paper:
-  schedule the ``k`` earliest-deadline jobs released in ``[t1, t2]`` inside
-  that interval, with ``q`` processors at column ``t2`` already taken by
-  jobs of enclosing subproblems, exactly ``l1`` of the subproblem's own jobs
-  at column ``t1`` and exactly ``l2`` at column ``t2``.
-* The recursion branches on the execution column ``t'`` of the
-  latest-deadline job; jobs released after ``t'`` form the right subproblem
-  and the rest the left subproblem (cases (1)-(4) of the paper's proof).
-* The DP value is kept as a vector indexed by the exact maximum occupancy of
-  the subinterval, so that the final ``- (used processors)`` correction can
-  be applied at the root without losing optimality.
-
-The solver returns both the optimal value and an explicit optimal schedule
-(reconstructed from the memoised decisions and stacked onto processors in
-staircase order).  Correctness is validated against a brute-force oracle in
-the test-suite.
+The solver returns both the optimal value and an explicit optimal schedule.
+Correctness is validated against a brute-force oracle in the test-suite and
+continuously by :mod:`repro.verify`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, Optional, Union
 
 from .dp_profile import IntervalDecomposition
 from .exceptions import InfeasibleInstanceError
+from .interval_dp import GapObjective, IntervalDPEngine, staircase_schedule
 from .jobs import MultiprocessorInstance, OneIntervalInstance
 from .schedule import MultiprocessorSchedule
 
 __all__ = ["MultiprocessorGapSolver", "GapSolution", "solve_multiprocessor_gap"]
-
-# A state is identified by column indices (i1, i2), the job count k, the
-# number q of externally-occupied slots at column t2, and the own-job counts
-# (l1, l2) at the boundary columns.
-StateKey = Tuple[int, int, int, int, int, int]
-# For each exact maximum occupancy M the memo stores (cost, choice).
-StateValue = Dict[int, Tuple[int, Tuple]]
 
 
 @dataclass
@@ -97,233 +78,26 @@ class MultiprocessorGapSolver:
         self.instance = instance
         self.p = instance.num_processors
         self.decomp = IntervalDecomposition(instance, use_full_horizon=use_full_horizon)
-        self._memo: Dict[StateKey, StateValue] = {}
+        self.engine = IntervalDPEngine(self.decomp, GapObjective(self.p))
 
-    # -- public API -------------------------------------------------------------
     def solve(self) -> GapSolution:
         """Solve the instance, returning the optimal gap count and a schedule."""
-        n = self.instance.num_jobs
-        if n == 0:
-            return GapSolution(
-                feasible=True,
-                num_gaps=0,
-                schedule=MultiprocessorSchedule(instance=self.instance, assignment={}),
-            )
-
-        columns = self.decomp.columns
-        i1, i2 = 0, len(columns) - 1
-        best_value: Optional[int] = None
-        best_root: Optional[Tuple[StateKey, int, int]] = None  # (key, M, l1)
-
-        for l1 in range(0, self.p + 1):
-            for l2 in range(0, self.p + 1):
-                key: StateKey = (i1, i2, n, 0, l1, l2)
-                table = self._solve(key)
-                for max_occ, (cost, _choice) in table.items():
-                    if max_occ <= 0:
-                        continue
-                    total = l1 + cost - max_occ
-                    if best_value is None or total < best_value:
-                        best_value = total
-                        best_root = (key, max_occ, l1)
-
-        if best_value is None or best_root is None:
+        outcome = self.engine.solve()
+        if not outcome.feasible:
             return GapSolution(feasible=False, num_gaps=None, schedule=None)
-
-        assignment_times = self._reconstruct(best_root[0], best_root[1])
-        schedule = self._stack(assignment_times)
-        return GapSolution(feasible=True, num_gaps=best_value, schedule=schedule)
+        schedule = staircase_schedule(self.instance, outcome.assignment)
+        return GapSolution(
+            feasible=True, num_gaps=int(outcome.value), schedule=schedule
+        )
 
     def optimal_gaps(self) -> Optional[int]:
         """Convenience wrapper returning only the optimal gap count (None if infeasible)."""
         solution = self.solve()
         return solution.num_gaps if solution.feasible else None
 
-    # -- DP ----------------------------------------------------------------------
-    def _solve(self, key: StateKey) -> StateValue:
-        cached = self._memo.get(key)
-        if cached is not None:
-            return cached
-        result = self._compute(key)
-        self._memo[key] = result
-        return result
-
-    def _compute(self, key: StateKey) -> StateValue:
-        i1, i2, k, q, l1, l2 = key
-        p = self.p
-        columns = self.decomp.columns
-        t1, t2 = columns[i1], columns[i2]
-
-        # Structural sanity of the state.
-        if k < 0 or l1 < 0 or l2 < 0 or q < 0:
-            return {}
-        if l1 > p or l2 > p or q > p or q + l2 > p:
-            return {}
-        if l1 > k or l2 > k:
-            return {}
-
-        node_jobs = self.decomp.node_jobs(t1, t2, k)
-        if node_jobs is None:
-            return {}
-
-        if t1 == t2:
-            if l1 != l2:
-                return {}
-            if k == 0:
-                if l1 != 0:
-                    return {}
-                return {q: (0, ("empty",))}
-            # All k jobs execute at the single column t1.
-            if l1 != k or k + q > p:
-                return {}
-            # Every node job is released exactly at t1 (its release lies in
-            # [t1, t1]) and deadlines are >= releases, so placement is valid.
-            return {k + q: (0, ("column", tuple(node_jobs), t1))}
-
-        # t1 < t2 from here on.
-        if k == 0:
-            if l1 != 0 or l2 != 0:
-                return {}
-            return {q: (q, ("empty",))}
-        if l1 + l2 > k:
-            return {}
-
-        jmax = node_jobs[-1]
-        best: StateValue = {}
-
-        for col_idx in self.decomp.candidate_columns_for_job(jmax, t1, t2):
-            t_prime = columns[col_idx]
-            if t_prime == t2:
-                self._case_at_right_end(key, jmax, best)
-            else:
-                self._case_split(key, node_jobs, jmax, col_idx, best)
-        return best
-
-    def _case_at_right_end(self, key: StateKey, jmax: int, best: StateValue) -> None:
-        """Case t' == t2: the latest-deadline job runs at the right boundary column."""
-        i1, i2, k, q, l1, l2 = key
-        if l2 < 1 or q + 1 > self.p:
-            return
-        child_key: StateKey = (i1, i2, k - 1, q + 1, l1, l2 - 1)
-        child = self._solve(child_key)
-        t2 = self.decomp.columns[i2]
-        for max_occ, (cost, _choice) in child.items():
-            entry = best.get(max_occ)
-            if entry is None or cost < entry[0]:
-                best[max_occ] = (cost, ("right_end", child_key, max_occ, jmax, t2))
-
-    def _case_split(
-        self,
-        key: StateKey,
-        node_jobs: List[int],
-        jmax: int,
-        col_idx: int,
-        best: StateValue,
-    ) -> None:
-        """Case t' < t2: split into left [t1, t'] and right (t', t2] subproblems."""
-        i1, i2, k, q, l1, l2 = key
-        p = self.p
-        columns = self.decomp.columns
-        t1, t2 = columns[i1], columns[i2]
-        t_prime = columns[col_idx]
-
-        num_right = self.decomp.count_released_after(node_jobs, t_prime)
-        k_left = k - 1 - num_right
-        k_right = num_right
-        if k_left < 0:
-            return
-
-        idx_next = self.decomp.first_column_after(t_prime)
-        if idx_next is None or columns[idx_next] > t2:
-            return
-        t_next = columns[idx_next]
-        adjacent = t_next == t_prime + 1
-        right_touches_t2 = idx_next == i2
-
-        # The subproblem's own jobs at column t1 include jmax when t' == t1.
-        left_l1 = l1 - 1 if t_prime == t1 else l1
-        if left_l1 < 0:
-            return
-
-        for left_boundary in range(0, p):  # own jobs of the left child at t'
-            left_key: StateKey = (i1, col_idx, k_left, 1, left_l1, left_boundary)
-            left = self._solve(left_key)
-            if not left:
-                continue
-            occ_before = left_boundary + 1 if adjacent else 0
-            for right_boundary in range(0, p + 1):  # own jobs of the right child at t_next
-                extra = q if right_touches_t2 else 0
-                if right_boundary + extra > p:
-                    continue
-                right_key: StateKey = (idx_next, i2, k_right, q, right_boundary, l2)
-                right = self._solve(right_key)
-                if not right:
-                    continue
-                boundary_charge = max(0, (right_boundary + extra) - occ_before)
-                for max_left, (cost_left, _cl) in left.items():
-                    for max_right, (cost_right, _cr) in right.items():
-                        max_occ = max(max_left, max_right)
-                        cost = cost_left + boundary_charge + cost_right
-                        entry = best.get(max_occ)
-                        if entry is None or cost < entry[0]:
-                            best[max_occ] = (
-                                cost,
-                                (
-                                    "split",
-                                    jmax,
-                                    t_prime,
-                                    left_key,
-                                    max_left,
-                                    right_key,
-                                    max_right,
-                                ),
-                            )
-
-    # -- reconstruction -----------------------------------------------------------
-    def _reconstruct(self, key: StateKey, max_occ: int) -> Dict[int, int]:
-        """Recover a job -> time assignment achieving the memoised optimum."""
-        assignment: Dict[int, int] = {}
-        self._reconstruct_into(key, max_occ, assignment)
-        return assignment
-
-    def _reconstruct_into(
-        self, key: StateKey, max_occ: int, assignment: Dict[int, int]
-    ) -> None:
-        table = self._memo[key]
-        _cost, choice = table[max_occ]
-        kind = choice[0]
-        if kind == "empty":
-            return
-        if kind == "column":
-            _tag, job_indices, t = choice
-            for job_idx in job_indices:
-                assignment[job_idx] = t
-            return
-        if kind == "right_end":
-            _tag, child_key, child_max, jmax, t2 = choice
-            assignment[jmax] = t2
-            self._reconstruct_into(child_key, child_max, assignment)
-            return
-        if kind == "split":
-            _tag, jmax, t_prime, left_key, max_left, right_key, max_right = choice
-            assignment[jmax] = t_prime
-            self._reconstruct_into(left_key, max_left, assignment)
-            self._reconstruct_into(right_key, max_right, assignment)
-            return
-        raise AssertionError(f"unknown reconstruction tag {kind!r}")
-
-    def _stack(self, times: Dict[int, int]) -> MultiprocessorSchedule:
-        """Stack a job -> time assignment onto processors in staircase order."""
-        by_time: Dict[int, List[int]] = {}
-        for job_idx, t in times.items():
-            by_time.setdefault(t, []).append(job_idx)
-        assignment: Dict[int, Tuple[int, int]] = {}
-        for t, job_indices in by_time.items():
-            for level, job_idx in enumerate(sorted(job_indices), start=1):
-                assignment[job_idx] = (level, t)
-        schedule = MultiprocessorSchedule(instance=self.instance, assignment=assignment)
-        schedule.validate()
-        return schedule
+    def engine_metadata(self) -> Dict:
+        """Engine identification plus pruning/memo statistics (JSON-native)."""
+        return self.engine.metadata()
 
 
 def solve_multiprocessor_gap(

@@ -12,35 +12,28 @@ processors.
 
 Algorithm
 ---------
-The same interval dynamic program as the gap solver (see
-:mod:`repro.core.multiproc_gap_dp`), with the state reinterpreted exactly as
-in the proof of Theorem 2: the boundary parameters count *active* processors
-rather than busy processors.  In the staircase form of Lemma 2 the power
-cost is::
-
-    sum over columns t of  A(t) + alpha * max(0, A(t) - A(t-1))
-
-where ``A(t)`` is the number of active processors at column ``t``.  Both
-terms are local to consecutive columns, so the subproblem value is a scalar.
-Idle-but-active stretches between busy columns are folded into a closed-form
-*bridging* charge (``min(stretch length, alpha)`` per processor active on
-both sides), which keeps the DP on the polynomial set of candidate columns.
+A thin binding of :class:`~repro.core.interval_dp.PowerObjective` onto the
+shared :class:`~repro.core.interval_dp.IntervalDPEngine` — the same interval
+DP as the gap solver with the state reinterpreted exactly as in the proof of
+Theorem 2: the boundary parameters count *active* processors rather than
+busy processors, the subproblem value is a scalar, and idle-but-active
+stretches between busy columns are folded into a closed-form *bridging*
+charge (``min(stretch length, alpha)`` per processor active on both sides),
+which keeps the DP on the polynomial set of candidate columns (Lemma 2).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, Optional, Union
 
 from .dp_profile import IntervalDecomposition
-from .exceptions import InfeasibleInstanceError, InvalidInstanceError
+from .exceptions import InfeasibleInstanceError
+from .interval_dp import IntervalDPEngine, PowerObjective, staircase_schedule
 from .jobs import MultiprocessorInstance, OneIntervalInstance
 from .schedule import MultiprocessorSchedule
 
 __all__ = ["MultiprocessorPowerSolver", "PowerSolution", "solve_multiprocessor_power"]
-
-StateKey = Tuple[int, int, int, int, int, int]
-StateValue = Optional[Tuple[float, Tuple]]
 
 
 @dataclass
@@ -81,52 +74,26 @@ class MultiprocessorPowerSolver:
     ) -> None:
         if isinstance(instance, OneIntervalInstance):
             instance = instance.to_multiprocessor(1)
-        if alpha < 0:
-            raise InvalidInstanceError(f"alpha must be non-negative, got {alpha}")
         self.instance = instance
         self.alpha = float(alpha)
         self.p = instance.num_processors
         self.decomp = IntervalDecomposition(instance, use_full_horizon=use_full_horizon)
-        self._memo: Dict[StateKey, StateValue] = {}
+        # PowerObjective validates alpha >= 0.
+        self.engine = IntervalDPEngine(self.decomp, PowerObjective(self.p, alpha))
 
-    # -- public API -------------------------------------------------------------
     def solve(self) -> PowerSolution:
         """Solve the instance, returning the optimal power and a schedule."""
-        n = self.instance.num_jobs
-        if n == 0:
-            return PowerSolution(
-                feasible=True,
-                power=0.0,
-                schedule=MultiprocessorSchedule(instance=self.instance, assignment={}),
-                alpha=self.alpha,
-            )
-
-        i1, i2 = 0, len(self.decomp.columns) - 1
-        best_value: Optional[float] = None
-        best_root: Optional[StateKey] = None
-        best_first_active: int = 0
-
-        for a1 in range(0, self.p + 1):
-            for a2 in range(0, self.p + 1):
-                key: StateKey = (i1, i2, n, 0, a1, a2)
-                value = self._solve(key)
-                if value is None:
-                    continue
-                total = a1 * (1.0 + self.alpha) + value[0]
-                if best_value is None or total < best_value:
-                    best_value = total
-                    best_root = key
-                    best_first_active = a1
-
-        if best_value is None or best_root is None:
+        outcome = self.engine.solve()
+        if not outcome.feasible:
             return PowerSolution(
                 feasible=False, power=None, schedule=None, alpha=self.alpha
             )
-
-        times = self._reconstruct(best_root)
-        schedule = self._stack(times)
+        schedule = staircase_schedule(self.instance, outcome.assignment)
         return PowerSolution(
-            feasible=True, power=best_value, schedule=schedule, alpha=self.alpha
+            feasible=True,
+            power=float(outcome.value),
+            schedule=schedule,
+            alpha=self.alpha,
         )
 
     def optimal_power(self) -> Optional[float]:
@@ -134,174 +101,9 @@ class MultiprocessorPowerSolver:
         solution = self.solve()
         return solution.power if solution.feasible else None
 
-    # -- DP helpers ----------------------------------------------------------------
-    def _bridge_charge(self, stretch: int, active_before: int, active_after: int) -> float:
-        """Cost of the columns strictly between two boundary columns plus the right column.
-
-        ``stretch`` columns separate the boundary columns; ``active_before``
-        processors are active at the left boundary and ``active_after`` at
-        the right boundary.  Each processor active on both sides either stays
-        active through the stretch (cost ``stretch``) or sleeps and wakes
-        (cost ``alpha``); processors newly active on the right pay a wake-up.
-        The active time of the right boundary column itself is included.
-        """
-        shared = min(active_before, active_after)
-        newly_active = max(0, active_after - active_before)
-        return (
-            float(active_after)
-            + shared * min(float(stretch), self.alpha)
-            + newly_active * self.alpha
-        )
-
-    def _solve(self, key: StateKey) -> StateValue:
-        if key in self._memo:
-            return self._memo[key]
-        # Placeholder to guard against accidental cycles (there are none by
-        # construction, but a clear failure beats infinite recursion).
-        self._memo[key] = None
-        result = self._compute(key)
-        self._memo[key] = result
-        return result
-
-    def _compute(self, key: StateKey) -> StateValue:
-        i1, i2, k, q, a1, a2 = key
-        p = self.p
-        columns = self.decomp.columns
-        t1, t2 = columns[i1], columns[i2]
-
-        if k < 0 or a1 < 0 or a2 < 0 or q < 0:
-            return None
-        if a1 > p or a2 > p or q > p or q > a2:
-            return None
-
-        node_jobs = self.decomp.node_jobs(t1, t2, k)
-        if node_jobs is None:
-            return None
-
-        if t1 == t2:
-            if a1 != a2:
-                return None
-            if k + q > a1:
-                return None
-            if k == 0:
-                return (0.0, ("empty",))
-            return (0.0, ("column", tuple(node_jobs), t1))
-
-        if k == 0:
-            return (self._bridge_charge(t2 - t1 - 1, a1, a2), ("empty",))
-
-        jmax = node_jobs[-1]
-        best: StateValue = None
-
-        for col_idx in self.decomp.candidate_columns_for_job(jmax, t1, t2):
-            t_prime = columns[col_idx]
-            if t_prime == t2:
-                candidate = self._case_at_right_end(key, jmax)
-            else:
-                candidate = self._case_split(key, node_jobs, jmax, col_idx)
-            if candidate is not None and (best is None or candidate[0] < best[0]):
-                best = candidate
-        return best
-
-    def _case_at_right_end(self, key: StateKey, jmax: int) -> StateValue:
-        """Case t' == t2: the latest-deadline job runs at the right boundary column."""
-        i1, i2, k, q, a1, a2 = key
-        if q + 1 > a2:
-            return None
-        child_key: StateKey = (i1, i2, k - 1, q + 1, a1, a2)
-        child = self._solve(child_key)
-        if child is None:
-            return None
-        t2 = self.decomp.columns[i2]
-        return (child[0], ("right_end", child_key, jmax, t2))
-
-    def _case_split(
-        self, key: StateKey, node_jobs: List[int], jmax: int, col_idx: int
-    ) -> StateValue:
-        """Case t' < t2: split into left [t1, t'] and right (t', t2] subproblems."""
-        i1, i2, k, q, a1, a2 = key
-        p = self.p
-        columns = self.decomp.columns
-        t2 = columns[i2]
-        t_prime = columns[col_idx]
-
-        num_right = self.decomp.count_released_after(node_jobs, t_prime)
-        k_left = k - 1 - num_right
-        k_right = num_right
-        if k_left < 0:
-            return None
-
-        idx_next = self.decomp.first_column_after(t_prime)
-        if idx_next is None or columns[idx_next] > t2:
-            return None
-        t_next = columns[idx_next]
-        stretch = t_next - t_prime - 1
-
-        best: StateValue = None
-        for active_mid in range(1, p + 1):  # total active at t' (the jmax column)
-            left_key: StateKey = (i1, col_idx, k_left, 1, a1, active_mid)
-            left = self._solve(left_key)
-            if left is None:
-                continue
-            for active_next in range(0, p + 1):  # total active at t_next
-                right_key: StateKey = (idx_next, i2, k_right, q, active_next, a2)
-                right = self._solve(right_key)
-                if right is None:
-                    continue
-                cost = (
-                    left[0]
-                    + self._bridge_charge(stretch, active_mid, active_next)
-                    + right[0]
-                )
-                if best is None or cost < best[0]:
-                    best = (cost, ("split", jmax, t_prime, left_key, right_key))
-        return best
-
-    # -- reconstruction --------------------------------------------------------------
-    def _reconstruct(self, key: StateKey) -> Dict[int, int]:
-        """Recover a job -> time assignment achieving the memoised optimum."""
-        assignment: Dict[int, int] = {}
-        self._reconstruct_into(key, assignment)
-        return assignment
-
-    def _reconstruct_into(self, key: StateKey, assignment: Dict[int, int]) -> None:
-        value = self._memo[key]
-        if value is None:
-            raise AssertionError("reconstruction reached an infeasible state")
-        _cost, choice = value
-        kind = choice[0]
-        if kind == "empty":
-            return
-        if kind == "column":
-            _tag, job_indices, t = choice
-            for job_idx in job_indices:
-                assignment[job_idx] = t
-            return
-        if kind == "right_end":
-            _tag, child_key, jmax, t2 = choice
-            assignment[jmax] = t2
-            self._reconstruct_into(child_key, assignment)
-            return
-        if kind == "split":
-            _tag, jmax, t_prime, left_key, right_key = choice
-            assignment[jmax] = t_prime
-            self._reconstruct_into(left_key, assignment)
-            self._reconstruct_into(right_key, assignment)
-            return
-        raise AssertionError(f"unknown reconstruction tag {kind!r}")
-
-    def _stack(self, times: Dict[int, int]) -> MultiprocessorSchedule:
-        """Stack a job -> time assignment onto processors in staircase order."""
-        by_time: Dict[int, List[int]] = {}
-        for job_idx, t in times.items():
-            by_time.setdefault(t, []).append(job_idx)
-        assignment: Dict[int, Tuple[int, int]] = {}
-        for t, job_indices in by_time.items():
-            for level, job_idx in enumerate(sorted(job_indices), start=1):
-                assignment[job_idx] = (level, t)
-        schedule = MultiprocessorSchedule(instance=self.instance, assignment=assignment)
-        schedule.validate()
-        return schedule
+    def engine_metadata(self) -> Dict:
+        """Engine identification plus pruning/memo statistics (JSON-native)."""
+        return self.engine.metadata()
 
 
 def solve_multiprocessor_power(

@@ -1,0 +1,34 @@
+"""Benchmark subsystem: measured trajectories for the interval-DP hot path.
+
+The ROADMAP's north star demands hot paths "as fast as the hardware allows"
+*with measured trajectories*; this package is the measuring device.  It
+times the engine-backed Theorem 1/2 solvers against the frozen pre-engine
+recursive solvers (:mod:`repro.perf.seed_baseline`) over the generator
+families, with warmup/repeat control, and writes machine-readable JSON
+reports (``BENCH_dp.json``) with a stable, validated schema
+(:mod:`repro.perf.report`).  The ``repro-sched bench`` CLI subcommand is a
+thin wrapper around :func:`repro.perf.bench.run_bench`.
+"""
+
+from .bench import BenchCase, default_cases, run_bench, time_callable
+from .report import (
+    BENCH_SCHEMA,
+    BenchSchemaError,
+    load_report,
+    validate_report,
+    validate_report_file,
+    write_report,
+)
+
+__all__ = [
+    "BenchCase",
+    "default_cases",
+    "run_bench",
+    "time_callable",
+    "BENCH_SCHEMA",
+    "BenchSchemaError",
+    "load_report",
+    "validate_report",
+    "validate_report_file",
+    "write_report",
+]

@@ -1,0 +1,247 @@
+"""Timed runners for the interval-DP engine over the generator families.
+
+Each :class:`BenchCase` pins one instance (family + parameters + seed) and
+is solved by both the engine-backed solver and the frozen seed baseline,
+with warmup and repeat control; the solvers are constructed fresh for every
+timed run so memo tables never leak between repetitions.  The runner
+differentially asserts that engine and baseline agree on feasibility and
+value for every case — a benchmark that silently timed a wrong answer would
+be worse than no benchmark.
+
+``run_bench(quick=True)`` is the CI smoke matrix (small instances, a couple
+of seconds); the default full matrix includes the medium instances
+(n >= 40, p >= 3) whose before/after trajectory is the headline artifact in
+``BENCH_dp.json``.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..core.jobs import MultiprocessorInstance
+from ..core.multiproc_gap_dp import MultiprocessorGapSolver
+from ..core.multiproc_power_dp import MultiprocessorPowerSolver
+from ..core.interval_dp import ENGINE_NAME, ENGINE_VERSION
+from ..generators import (
+    clustered_release_instance,
+    random_multiprocessor_instance,
+    tight_window_instance,
+)
+from .report import BENCH_SCHEMA, environment_fingerprint
+from .seed_baseline import SeedGapSolver, SeedPowerSolver
+
+__all__ = ["BenchCase", "default_cases", "time_callable", "run_bench"]
+
+#: Default timing discipline; CLI flags override.
+DEFAULT_REPEATS = 3
+DEFAULT_WARMUP = 1
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One benchmark instance: a generator family pinned to exact parameters."""
+
+    name: str
+    objective: str  # "gaps" | "power"
+    family: str  # "uniform" | "tight" | "clustered" | "sparse-wide"
+    num_jobs: int
+    num_processors: int
+    horizon: int
+    alpha: Optional[float] = None
+    window: int = 4  # sparse-wide only: per-job window length
+
+    def make_instance(self, seed: int) -> MultiprocessorInstance:
+        """Build the case's instance deterministically from ``seed``."""
+        if self.family == "uniform":
+            return random_multiprocessor_instance(
+                num_jobs=self.num_jobs,
+                num_processors=self.num_processors,
+                horizon=self.horizon,
+                seed=seed,
+            )
+        if self.family == "tight":
+            return tight_window_instance(
+                num_jobs=self.num_jobs,
+                horizon=self.horizon,
+                seed=seed,
+                num_processors=self.num_processors,
+            )
+        if self.family == "clustered":
+            return clustered_release_instance(
+                num_jobs=self.num_jobs,
+                horizon=self.horizon,
+                num_clusters=3,
+                seed=seed,
+                num_processors=self.num_processors,
+            )
+        if self.family == "sparse-wide":
+            # Long-horizon staircase: sparse releases, overlapping windows.
+            # This is the family that drove the seed solvers deepest into the
+            # native stack; the engine evaluates it iteratively.
+            step = max(1, self.horizon // max(1, self.num_jobs))
+            pairs = [
+                (i * step, i * step + self.window) for i in range(self.num_jobs)
+            ]
+            return MultiprocessorInstance.from_pairs(
+                pairs, num_processors=self.num_processors
+            )
+        raise ValueError(f"unknown bench family {self.family!r}")
+
+
+def default_cases(quick: bool = False) -> List[BenchCase]:
+    """The benchmark matrix; ``quick`` keeps only the CI smoke subset."""
+    cases = [
+        BenchCase("gap/uniform-n16-p2", "gaps", "uniform", 16, 2, 18),
+        BenchCase("gap/tight-n20-p2", "gaps", "tight", 20, 2, 16),
+        BenchCase("power/uniform-n16-p2-a2", "power", "uniform", 16, 2, 18, alpha=2.0),
+        BenchCase("gap/baptiste-n30-p1", "gaps", "uniform", 30, 1, 40),
+    ]
+    if quick:
+        return cases
+    cases += [
+        BenchCase("gap/uniform-n40-p3", "gaps", "uniform", 40, 3, 30),
+        BenchCase("gap/clustered-n44-p3", "gaps", "clustered", 44, 3, 28),
+        BenchCase("power/uniform-n40-p3-a2", "power", "uniform", 40, 3, 30, alpha=2.0),
+        BenchCase(
+            "power/clustered-n42-p3-a05", "power", "clustered", 42, 3, 26, alpha=0.5
+        ),
+        BenchCase("gap/baptiste-n36-p1", "gaps", "uniform", 36, 1, 46),
+        BenchCase("gap/sparse-wide-n60-p1", "gaps", "sparse-wide", 60, 1, 120),
+        BenchCase(
+            "power/sparse-wide-n60-p1-a3", "power", "sparse-wide", 60, 1, 120, alpha=3.0
+        ),
+    ]
+    return cases
+
+
+def time_callable(
+    fn: Callable[[], object], repeats: int, warmup: int
+) -> Dict[str, object]:
+    """Time ``fn`` (freshly, ``repeats`` times after ``warmup`` untimed runs)."""
+    for _ in range(warmup):
+        fn()
+    runs: List[float] = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        runs.append(time.perf_counter() - start)
+    return {
+        "best": min(runs),
+        "median": statistics.median(runs),
+        "mean": statistics.fmean(runs),
+        "runs": runs,
+    }
+
+
+def _engine_solve(case: BenchCase, instance):
+    """Solve with the engine-backed solver; returns (feasible, value, stats)."""
+    if case.objective == "gaps":
+        solver = MultiprocessorGapSolver(instance)
+        solution = solver.solve()
+        value = solution.num_gaps
+    else:
+        solver = MultiprocessorPowerSolver(instance, alpha=case.alpha)
+        solution = solver.solve()
+        value = solution.power
+    return solution.feasible, value, solver.engine.stats.as_dict()
+
+
+def _baseline_solve(case: BenchCase, instance):
+    """Solve with the frozen seed baseline; returns (feasible, value)."""
+    if case.objective == "gaps":
+        feasible, value, _schedule = SeedGapSolver(instance).solve()
+    else:
+        feasible, value, _schedule = SeedPowerSolver(instance, alpha=case.alpha).solve()
+    return feasible, value
+
+
+def _values_agree(a, b) -> bool:
+    if a is None or b is None:
+        return a is None and b is None
+    return abs(float(a) - float(b)) <= 1e-6
+
+
+def run_bench(
+    quick: bool = False,
+    repeats: Optional[int] = None,
+    warmup: Optional[int] = None,
+    seed: int = 0,
+    baseline: bool = True,
+    cases: Optional[List[BenchCase]] = None,
+    progress: Optional[Callable[[Dict], None]] = None,
+) -> Dict:
+    """Run the benchmark matrix and return a schema-conformant report dict.
+
+    Parameters
+    ----------
+    quick:
+        Use the reduced CI smoke matrix.
+    repeats / warmup:
+        Timing discipline (defaults: 3 timed runs after 1 warmup).
+    seed:
+        Master seed for the instance generators.
+    baseline:
+        Also time the frozen seed solvers and report speedups; disabling
+        this times the engine alone (baseline/speedup become null).
+    cases:
+        Explicit case list overriding :func:`default_cases`.
+    progress:
+        Optional callback invoked with each finished case record.
+    """
+    repeats = DEFAULT_REPEATS if repeats is None else repeats
+    warmup = DEFAULT_WARMUP if warmup is None else warmup
+    if repeats < 1 or warmup < 0:
+        raise ValueError("repeats must be >= 1 and warmup >= 0")
+    case_list = default_cases(quick) if cases is None else cases
+
+    records: List[Dict] = []
+    for index, case in enumerate(case_list):
+        instance = case.make_instance(seed + index)
+        feasible, value, stats = _engine_solve(case, instance)
+        engine_timing = time_callable(
+            lambda: _engine_solve(case, instance), repeats, warmup
+        )
+        baseline_timing = None
+        speedup = None
+        if baseline:
+            base_feasible, base_value = _baseline_solve(case, instance)
+            if base_feasible != feasible or not _values_agree(value, base_value):
+                raise AssertionError(
+                    f"bench case {case.name}: engine value {value!r} (feasible="
+                    f"{feasible}) disagrees with seed baseline {base_value!r} "
+                    f"(feasible={base_feasible})"
+                )
+            baseline_timing = time_callable(
+                lambda: _baseline_solve(case, instance), repeats, warmup
+            )
+            speedup = baseline_timing["median"] / max(engine_timing["median"], 1e-12)
+        record = {
+            "name": case.name,
+            "objective": case.objective,
+            "family": case.family,
+            "num_jobs": instance.num_jobs,
+            "num_processors": case.num_processors,
+            "alpha": case.alpha,
+            "value": None if value is None else float(value),
+            "engine": engine_timing,
+            "baseline": baseline_timing,
+            "speedup": speedup,
+            "engine_stats": stats,
+        }
+        records.append(record)
+        if progress is not None:
+            progress(record)
+
+    return {
+        "schema": BENCH_SCHEMA,
+        "engine": {"name": ENGINE_NAME, "version": ENGINE_VERSION},
+        "quick": quick,
+        "seed": seed,
+        "repeats": repeats,
+        "warmup": warmup,
+        "environment": environment_fingerprint(),
+        "cases": records,
+    }

@@ -1,0 +1,205 @@
+"""Stable JSON report schema for the interval-DP benchmark (``BENCH_dp.json``).
+
+The report is a machine-readable artifact: CI uploads it on every push and
+fails the build when its shape drifts, so downstream tooling (trend plots,
+regression gates) can rely on the keys below.  ``validate_report`` is
+deliberately strict in both directions — missing *and* unexpected keys are
+schema drift.
+
+Top-level keys::
+
+    schema        the literal schema id (BENCH_SCHEMA)
+    engine        {"name", "version"} of the measured engine
+    quick         whether this was the reduced CI smoke matrix
+    seed          master instance-generator seed
+    repeats       timed repetitions per solver per case
+    warmup        untimed warmup runs per solver per case
+    environment   {"python", "implementation", "platform"}
+    cases         list of per-case records
+
+Per-case keys::
+
+    name            unique case id, e.g. "gap/uniform-n40-p3"
+    objective       "gaps" | "power"
+    family          generator family the instance came from
+    num_jobs        n
+    num_processors  p
+    alpha           wake-up cost (null for the gap objective)
+    value           optimal objective value (null when infeasible)
+    engine          timing block for the engine-backed solver
+    baseline        timing block for the frozen seed solver (null if skipped)
+    speedup         baseline median / engine median (null if skipped)
+    engine_stats    pruning/memo counters of one engine run
+
+Timing blocks::
+
+    {"best": s, "median": s, "mean": s, "runs": [s, ...]}
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+from typing import Any, Dict, List
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "BenchSchemaError",
+    "environment_fingerprint",
+    "validate_report",
+    "validate_report_file",
+    "write_report",
+    "load_report",
+]
+
+BENCH_SCHEMA = "repro.perf/bench-dp/v1"
+
+_TOP_KEYS = {
+    "schema",
+    "engine",
+    "quick",
+    "seed",
+    "repeats",
+    "warmup",
+    "environment",
+    "cases",
+}
+_CASE_KEYS = {
+    "name",
+    "objective",
+    "family",
+    "num_jobs",
+    "num_processors",
+    "alpha",
+    "value",
+    "engine",
+    "baseline",
+    "speedup",
+    "engine_stats",
+}
+_TIMING_KEYS = {"best", "median", "mean", "runs"}
+
+
+class BenchSchemaError(ValueError):
+    """Raised when a benchmark report does not match :data:`BENCH_SCHEMA`."""
+
+
+def environment_fingerprint() -> Dict[str, str]:
+    """The environment block stamped into every report."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+    }
+
+
+def _require_keys(name: str, data: Dict, expected: set) -> None:
+    actual = set(data)
+    missing = expected - actual
+    unexpected = actual - expected
+    if missing:
+        raise BenchSchemaError(f"{name}: missing keys {sorted(missing)}")
+    if unexpected:
+        raise BenchSchemaError(f"{name}: unexpected keys {sorted(unexpected)}")
+
+
+def _check_timing(name: str, block: Any) -> None:
+    if not isinstance(block, dict):
+        raise BenchSchemaError(f"{name}: timing block must be an object")
+    _require_keys(name, block, _TIMING_KEYS)
+    for key in ("best", "median", "mean"):
+        if not isinstance(block[key], (int, float)) or block[key] < 0:
+            raise BenchSchemaError(f"{name}.{key}: must be a non-negative number")
+    runs = block["runs"]
+    if not isinstance(runs, list) or not runs:
+        raise BenchSchemaError(f"{name}.runs: must be a non-empty list")
+    for value in runs:
+        if not isinstance(value, (int, float)) or value < 0:
+            raise BenchSchemaError(f"{name}.runs: entries must be non-negative numbers")
+
+
+def validate_report(data: Any) -> None:
+    """Raise :class:`BenchSchemaError` unless ``data`` matches the schema exactly."""
+    if not isinstance(data, dict):
+        raise BenchSchemaError("report must be a JSON object")
+    _require_keys("report", data, _TOP_KEYS)
+    if data["schema"] != BENCH_SCHEMA:
+        raise BenchSchemaError(
+            f"schema id {data['schema']!r} does not match {BENCH_SCHEMA!r}"
+        )
+    engine = data["engine"]
+    if not isinstance(engine, dict):
+        raise BenchSchemaError("report.engine must be an object")
+    _require_keys("report.engine", engine, {"name", "version"})
+    if not isinstance(data["quick"], bool):
+        raise BenchSchemaError("report.quick must be a boolean")
+    for key in ("seed", "repeats", "warmup"):
+        if not isinstance(data[key], int):
+            raise BenchSchemaError(f"report.{key} must be an integer")
+    environment = data["environment"]
+    if not isinstance(environment, dict):
+        raise BenchSchemaError("report.environment must be an object")
+    _require_keys(
+        "report.environment", environment, {"python", "implementation", "platform"}
+    )
+    cases = data["cases"]
+    if not isinstance(cases, list) or not cases:
+        raise BenchSchemaError("report.cases must be a non-empty list")
+    seen_names = set()
+    for index, case in enumerate(cases):
+        label = f"cases[{index}]"
+        if not isinstance(case, dict):
+            raise BenchSchemaError(f"{label}: must be an object")
+        _require_keys(label, case, _CASE_KEYS)
+        if not isinstance(case["name"], str) or not case["name"]:
+            raise BenchSchemaError(f"{label}.name: must be a non-empty string")
+        if case["name"] in seen_names:
+            raise BenchSchemaError(f"{label}.name: duplicate case {case['name']!r}")
+        seen_names.add(case["name"])
+        if case["objective"] not in ("gaps", "power"):
+            raise BenchSchemaError(f"{label}.objective: must be 'gaps' or 'power'")
+        for key in ("num_jobs", "num_processors"):
+            if not isinstance(case[key], int) or case[key] < 0:
+                raise BenchSchemaError(f"{label}.{key}: must be a non-negative integer")
+        if case["alpha"] is not None and not isinstance(case["alpha"], (int, float)):
+            raise BenchSchemaError(f"{label}.alpha: must be a number or null")
+        if case["value"] is not None and not isinstance(case["value"], (int, float)):
+            raise BenchSchemaError(f"{label}.value: must be a number or null")
+        _check_timing(f"{label}.engine", case["engine"])
+        if case["baseline"] is not None:
+            _check_timing(f"{label}.baseline", case["baseline"])
+            if not isinstance(case["speedup"], (int, float)):
+                raise BenchSchemaError(
+                    f"{label}.speedup: must be a number when baseline is present"
+                )
+        elif case["speedup"] is not None:
+            raise BenchSchemaError(f"{label}.speedup: must be null without a baseline")
+        if not isinstance(case["engine_stats"], dict):
+            raise BenchSchemaError(f"{label}.engine_stats: must be an object")
+        for key, value in case["engine_stats"].items():
+            if not isinstance(value, int):
+                raise BenchSchemaError(
+                    f"{label}.engine_stats[{key!r}]: counters must be integers"
+                )
+
+
+def write_report(data: Dict, path: str) -> None:
+    """Validate ``data`` and write it as deterministic, indented JSON."""
+    validate_report(data)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_report(path: str) -> Dict:
+    """Read a benchmark report from ``path`` (without validating it)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def validate_report_file(path: str) -> Dict:
+    """Load and validate a report file, returning the parsed data."""
+    data = load_report(path)
+    validate_report(data)
+    return data

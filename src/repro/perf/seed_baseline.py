@@ -1,0 +1,436 @@
+"""Frozen pre-engine recursive solvers, kept as the benchmark "before" side.
+
+These are the original recursive/memoized Theorem 1/2 dynamic programs that
+shipped with the seed, verbatim except for class names.  They exist so that
+``repro-sched bench`` can report honest before/after trajectories for the
+unified :mod:`repro.core.interval_dp` engine on the same machine and Python
+build; the benchmark also differentially asserts that the engine and these
+baselines agree on every case it times.
+
+Do not "fix" or optimise this module: it is a measurement reference, not a
+production code path.  Production solving goes through
+:mod:`repro.core.multiproc_gap_dp` / :mod:`repro.core.multiproc_power_dp`,
+which bind the shared engine.  Note these baselines recurse on the native
+stack and can hit Python's recursion limit on deep instances — exactly the
+hazard the engine's iterative evaluation removes (see the regression test in
+``tests/test_interval_dp.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..core.dp_profile import IntervalDecomposition
+from ..core.exceptions import InvalidInstanceError
+from ..core.jobs import MultiprocessorInstance, OneIntervalInstance
+from ..core.schedule import MultiprocessorSchedule
+
+__all__ = ["SeedGapSolver", "SeedPowerSolver"]
+
+StateKey = Tuple[int, int, int, int, int, int]
+GapStateValue = Dict[int, Tuple[int, Tuple]]
+PowerStateValue = Optional[Tuple[float, Tuple]]
+
+
+def _stack(instance, times: Dict[int, int]) -> MultiprocessorSchedule:
+    """Stack a job -> time assignment onto processors in staircase order."""
+    by_time: Dict[int, List[int]] = {}
+    for job_idx, t in times.items():
+        by_time.setdefault(t, []).append(job_idx)
+    assignment: Dict[int, Tuple[int, int]] = {}
+    for t, job_indices in by_time.items():
+        for level, job_idx in enumerate(sorted(job_indices), start=1):
+            assignment[job_idx] = (level, t)
+    schedule = MultiprocessorSchedule(instance=instance, assignment=assignment)
+    schedule.validate()
+    return schedule
+
+
+class SeedGapSolver:
+    """The seed's recursive Theorem 1 gap solver (frozen benchmark baseline)."""
+
+    def __init__(
+        self,
+        instance: Union[MultiprocessorInstance, OneIntervalInstance],
+        use_full_horizon: bool = False,
+    ) -> None:
+        if isinstance(instance, OneIntervalInstance):
+            instance = instance.to_multiprocessor(1)
+        self.instance = instance
+        self.p = instance.num_processors
+        self.decomp = IntervalDecomposition(instance, use_full_horizon=use_full_horizon)
+        self._memo: Dict[StateKey, GapStateValue] = {}
+
+    def solve(self) -> Tuple[bool, Optional[int], Optional[MultiprocessorSchedule]]:
+        n = self.instance.num_jobs
+        if n == 0:
+            return True, 0, MultiprocessorSchedule(instance=self.instance, assignment={})
+
+        columns = self.decomp.columns
+        i1, i2 = 0, len(columns) - 1
+        best_value: Optional[int] = None
+        best_root: Optional[Tuple[StateKey, int, int]] = None
+
+        for l1 in range(0, self.p + 1):
+            for l2 in range(0, self.p + 1):
+                key: StateKey = (i1, i2, n, 0, l1, l2)
+                table = self._solve(key)
+                for max_occ, (cost, _choice) in table.items():
+                    if max_occ <= 0:
+                        continue
+                    total = l1 + cost - max_occ
+                    if best_value is None or total < best_value:
+                        best_value = total
+                        best_root = (key, max_occ, l1)
+
+        if best_value is None or best_root is None:
+            return False, None, None
+        assignment_times = self._reconstruct(best_root[0], best_root[1])
+        return True, best_value, _stack(self.instance, assignment_times)
+
+    def _solve(self, key: StateKey) -> GapStateValue:
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
+        result = self._compute(key)
+        self._memo[key] = result
+        return result
+
+    def _compute(self, key: StateKey) -> GapStateValue:
+        i1, i2, k, q, l1, l2 = key
+        p = self.p
+        columns = self.decomp.columns
+        t1, t2 = columns[i1], columns[i2]
+
+        if k < 0 or l1 < 0 or l2 < 0 or q < 0:
+            return {}
+        if l1 > p or l2 > p or q > p or q + l2 > p:
+            return {}
+        if l1 > k or l2 > k:
+            return {}
+
+        node_jobs = self.decomp.node_jobs(t1, t2, k)
+        if node_jobs is None:
+            return {}
+
+        if t1 == t2:
+            if l1 != l2:
+                return {}
+            if k == 0:
+                if l1 != 0:
+                    return {}
+                return {q: (0, ("empty",))}
+            if l1 != k or k + q > p:
+                return {}
+            return {k + q: (0, ("column", tuple(node_jobs), t1))}
+
+        if k == 0:
+            if l1 != 0 or l2 != 0:
+                return {}
+            return {q: (q, ("empty",))}
+        if l1 + l2 > k:
+            return {}
+
+        jmax = node_jobs[-1]
+        best: GapStateValue = {}
+
+        for col_idx in self.decomp.candidate_columns_for_job(jmax, t1, t2):
+            t_prime = columns[col_idx]
+            if t_prime == t2:
+                self._case_at_right_end(key, jmax, best)
+            else:
+                self._case_split(key, node_jobs, jmax, col_idx, best)
+        return best
+
+    def _case_at_right_end(self, key: StateKey, jmax: int, best: GapStateValue) -> None:
+        i1, i2, k, q, l1, l2 = key
+        if l2 < 1 or q + 1 > self.p:
+            return
+        child_key: StateKey = (i1, i2, k - 1, q + 1, l1, l2 - 1)
+        child = self._solve(child_key)
+        t2 = self.decomp.columns[i2]
+        for max_occ, (cost, _choice) in child.items():
+            entry = best.get(max_occ)
+            if entry is None or cost < entry[0]:
+                best[max_occ] = (cost, ("right_end", child_key, max_occ, jmax, t2))
+
+    def _case_split(
+        self,
+        key: StateKey,
+        node_jobs: List[int],
+        jmax: int,
+        col_idx: int,
+        best: GapStateValue,
+    ) -> None:
+        i1, i2, k, q, l1, l2 = key
+        p = self.p
+        columns = self.decomp.columns
+        t1, t2 = columns[i1], columns[i2]
+        t_prime = columns[col_idx]
+
+        num_right = self.decomp.count_released_after(node_jobs, t_prime)
+        k_left = k - 1 - num_right
+        k_right = num_right
+        if k_left < 0:
+            return
+
+        idx_next = self.decomp.first_column_after(t_prime)
+        if idx_next is None or columns[idx_next] > t2:
+            return
+        t_next = columns[idx_next]
+        adjacent = t_next == t_prime + 1
+        right_touches_t2 = idx_next == i2
+
+        left_l1 = l1 - 1 if t_prime == t1 else l1
+        if left_l1 < 0:
+            return
+
+        for left_boundary in range(0, p):
+            left_key: StateKey = (i1, col_idx, k_left, 1, left_l1, left_boundary)
+            left = self._solve(left_key)
+            if not left:
+                continue
+            occ_before = left_boundary + 1 if adjacent else 0
+            for right_boundary in range(0, p + 1):
+                extra = q if right_touches_t2 else 0
+                if right_boundary + extra > p:
+                    continue
+                right_key: StateKey = (idx_next, i2, k_right, q, right_boundary, l2)
+                right = self._solve(right_key)
+                if not right:
+                    continue
+                boundary_charge = max(0, (right_boundary + extra) - occ_before)
+                for max_left, (cost_left, _cl) in left.items():
+                    for max_right, (cost_right, _cr) in right.items():
+                        max_occ = max(max_left, max_right)
+                        cost = cost_left + boundary_charge + cost_right
+                        entry = best.get(max_occ)
+                        if entry is None or cost < entry[0]:
+                            best[max_occ] = (
+                                cost,
+                                (
+                                    "split",
+                                    jmax,
+                                    t_prime,
+                                    left_key,
+                                    max_left,
+                                    right_key,
+                                    max_right,
+                                ),
+                            )
+
+    def _reconstruct(self, key: StateKey, max_occ: int) -> Dict[int, int]:
+        assignment: Dict[int, int] = {}
+        self._reconstruct_into(key, max_occ, assignment)
+        return assignment
+
+    def _reconstruct_into(
+        self, key: StateKey, max_occ: int, assignment: Dict[int, int]
+    ) -> None:
+        table = self._memo[key]
+        _cost, choice = table[max_occ]
+        kind = choice[0]
+        if kind == "empty":
+            return
+        if kind == "column":
+            _tag, job_indices, t = choice
+            for job_idx in job_indices:
+                assignment[job_idx] = t
+            return
+        if kind == "right_end":
+            _tag, child_key, child_max, jmax, t2 = choice
+            assignment[jmax] = t2
+            self._reconstruct_into(child_key, child_max, assignment)
+            return
+        if kind == "split":
+            _tag, jmax, t_prime, left_key, max_left, right_key, max_right = choice
+            assignment[jmax] = t_prime
+            self._reconstruct_into(left_key, max_left, assignment)
+            self._reconstruct_into(right_key, max_right, assignment)
+            return
+        raise AssertionError(f"unknown reconstruction tag {kind!r}")
+
+
+class SeedPowerSolver:
+    """The seed's recursive Theorem 2 power solver (frozen benchmark baseline)."""
+
+    def __init__(
+        self,
+        instance: Union[MultiprocessorInstance, OneIntervalInstance],
+        alpha: float,
+        use_full_horizon: bool = False,
+    ) -> None:
+        if isinstance(instance, OneIntervalInstance):
+            instance = instance.to_multiprocessor(1)
+        if alpha < 0:
+            raise InvalidInstanceError(f"alpha must be non-negative, got {alpha}")
+        self.instance = instance
+        self.alpha = float(alpha)
+        self.p = instance.num_processors
+        self.decomp = IntervalDecomposition(instance, use_full_horizon=use_full_horizon)
+        self._memo: Dict[StateKey, PowerStateValue] = {}
+
+    def solve(self) -> Tuple[bool, Optional[float], Optional[MultiprocessorSchedule]]:
+        n = self.instance.num_jobs
+        if n == 0:
+            return True, 0.0, MultiprocessorSchedule(instance=self.instance, assignment={})
+
+        i1, i2 = 0, len(self.decomp.columns) - 1
+        best_value: Optional[float] = None
+        best_root: Optional[StateKey] = None
+
+        for a1 in range(0, self.p + 1):
+            for a2 in range(0, self.p + 1):
+                key: StateKey = (i1, i2, n, 0, a1, a2)
+                value = self._solve(key)
+                if value is None:
+                    continue
+                total = a1 * (1.0 + self.alpha) + value[0]
+                if best_value is None or total < best_value:
+                    best_value = total
+                    best_root = key
+
+        if best_value is None or best_root is None:
+            return False, None, None
+        times = self._reconstruct(best_root)
+        return True, best_value, _stack(self.instance, times)
+
+    def _bridge_charge(self, stretch: int, active_before: int, active_after: int) -> float:
+        shared = min(active_before, active_after)
+        newly_active = max(0, active_after - active_before)
+        return (
+            float(active_after)
+            + shared * min(float(stretch), self.alpha)
+            + newly_active * self.alpha
+        )
+
+    def _solve(self, key: StateKey) -> PowerStateValue:
+        if key in self._memo:
+            return self._memo[key]
+        self._memo[key] = None
+        result = self._compute(key)
+        self._memo[key] = result
+        return result
+
+    def _compute(self, key: StateKey) -> PowerStateValue:
+        i1, i2, k, q, a1, a2 = key
+        p = self.p
+        columns = self.decomp.columns
+        t1, t2 = columns[i1], columns[i2]
+
+        if k < 0 or a1 < 0 or a2 < 0 or q < 0:
+            return None
+        if a1 > p or a2 > p or q > p or q > a2:
+            return None
+
+        node_jobs = self.decomp.node_jobs(t1, t2, k)
+        if node_jobs is None:
+            return None
+
+        if t1 == t2:
+            if a1 != a2:
+                return None
+            if k + q > a1:
+                return None
+            if k == 0:
+                return (0.0, ("empty",))
+            return (0.0, ("column", tuple(node_jobs), t1))
+
+        if k == 0:
+            return (self._bridge_charge(t2 - t1 - 1, a1, a2), ("empty",))
+
+        jmax = node_jobs[-1]
+        best: PowerStateValue = None
+
+        for col_idx in self.decomp.candidate_columns_for_job(jmax, t1, t2):
+            t_prime = columns[col_idx]
+            if t_prime == t2:
+                candidate = self._case_at_right_end(key, jmax)
+            else:
+                candidate = self._case_split(key, node_jobs, jmax, col_idx)
+            if candidate is not None and (best is None or candidate[0] < best[0]):
+                best = candidate
+        return best
+
+    def _case_at_right_end(self, key: StateKey, jmax: int) -> PowerStateValue:
+        i1, i2, k, q, a1, a2 = key
+        if q + 1 > a2:
+            return None
+        child_key: StateKey = (i1, i2, k - 1, q + 1, a1, a2)
+        child = self._solve(child_key)
+        if child is None:
+            return None
+        t2 = self.decomp.columns[i2]
+        return (child[0], ("right_end", child_key, jmax, t2))
+
+    def _case_split(
+        self, key: StateKey, node_jobs: List[int], jmax: int, col_idx: int
+    ) -> PowerStateValue:
+        i1, i2, k, q, a1, a2 = key
+        p = self.p
+        columns = self.decomp.columns
+        t2 = columns[i2]
+        t_prime = columns[col_idx]
+
+        num_right = self.decomp.count_released_after(node_jobs, t_prime)
+        k_left = k - 1 - num_right
+        k_right = num_right
+        if k_left < 0:
+            return None
+
+        idx_next = self.decomp.first_column_after(t_prime)
+        if idx_next is None or columns[idx_next] > t2:
+            return None
+        t_next = columns[idx_next]
+        stretch = t_next - t_prime - 1
+
+        best: PowerStateValue = None
+        for active_mid in range(1, p + 1):
+            left_key: StateKey = (i1, col_idx, k_left, 1, a1, active_mid)
+            left = self._solve(left_key)
+            if left is None:
+                continue
+            for active_next in range(0, p + 1):
+                right_key: StateKey = (idx_next, i2, k_right, q, active_next, a2)
+                right = self._solve(right_key)
+                if right is None:
+                    continue
+                cost = (
+                    left[0]
+                    + self._bridge_charge(stretch, active_mid, active_next)
+                    + right[0]
+                )
+                if best is None or cost < best[0]:
+                    best = (cost, ("split", jmax, t_prime, left_key, right_key))
+        return best
+
+    def _reconstruct(self, key: StateKey) -> Dict[int, int]:
+        assignment: Dict[int, int] = {}
+        self._reconstruct_into(key, assignment)
+        return assignment
+
+    def _reconstruct_into(self, key: StateKey, assignment: Dict[int, int]) -> None:
+        value = self._memo[key]
+        if value is None:
+            raise AssertionError("reconstruction reached an infeasible state")
+        _cost, choice = value
+        kind = choice[0]
+        if kind == "empty":
+            return
+        if kind == "column":
+            _tag, job_indices, t = choice
+            for job_idx in job_indices:
+                assignment[job_idx] = t
+            return
+        if kind == "right_end":
+            _tag, child_key, jmax, t2 = choice
+            assignment[jmax] = t2
+            self._reconstruct_into(child_key, assignment)
+            return
+        if kind == "split":
+            _tag, jmax, t_prime, left_key, right_key = choice
+            assignment[jmax] = t_prime
+            self._reconstruct_into(left_key, assignment)
+            self._reconstruct_into(right_key, assignment)
+            return
+        raise AssertionError(f"unknown reconstruction tag {kind!r}")

@@ -107,10 +107,30 @@ class FuzzReport:
     num_infeasible: int = 0
     solver_counts: Dict[str, int] = field(default_factory=dict)
     failures: List[FuzzFailure] = field(default_factory=list)
+    # Aggregated interval-DP engine counters (summed over every engine-backed
+    # solver run) and the number of runs they came from; rendered by
+    # ``repro-sched fuzz --profile``.
+    engine_runs: int = 0
+    engine_stats: Dict[str, int] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
         return not self.failures
+
+    def engine_profile(self) -> List[str]:
+        """Human-readable per-run pruning/memo statistics of the engine."""
+        if not self.engine_runs:
+            return ["engine profile: no engine-backed solver runs"]
+        lines = [f"engine profile: {self.engine_runs} engine-backed solver runs"]
+        for name in sorted(self.engine_stats):
+            value = self.engine_stats[name]
+            if name.startswith("peak_"):
+                lines.append(f"  {name:<20} max   {value:>10}")
+            else:
+                lines.append(
+                    f"  {name:<20} total {value:>10}  per-run {value / self.engine_runs:>10.1f}"
+                )
+        return lines
 
     def summary(self) -> str:
         verdict = "OK" if self.ok else f"FAIL ({len(self.failures)} failures)"
@@ -309,6 +329,7 @@ def fuzz(
                 report.solver_counts[run.name] = (
                     report.solver_counts.get(run.name, 0) + 1
                 )
+            _accumulate_engine_stats(report, diff)
             if (
                 diff.runs
                 and diff.runs[0].result is not None
@@ -374,6 +395,29 @@ def fuzz(
     return report
 
 
+def _accumulate_engine_stats(report: FuzzReport, diff: DifferentialReport) -> None:
+    """Fold interval-DP engine counters from a differential run into the report."""
+    for run in diff.runs:
+        if run.result is None:
+            continue
+        engine = run.result.extra.get("engine")
+        if not isinstance(engine, dict):
+            continue
+        stats = engine.get("stats")
+        if not isinstance(stats, dict):
+            continue
+        report.engine_runs += 1
+        for name, value in stats.items():
+            # Peak-type counters are per-run maxima; summing them would be
+            # meaningless, so they aggregate by max instead.
+            if name.startswith("peak_"):
+                report.engine_stats[name] = max(
+                    report.engine_stats.get(name, 0), int(value)
+                )
+            else:
+                report.engine_stats[name] = report.engine_stats.get(name, 0) + int(value)
+
+
 def metamorphic_issues(problem: Problem, diff: DifferentialReport, meta_seed: int) -> List[str]:
     """The metamorphic checks of one fuzz case, reproducible from meta_seed."""
     meta_rng = random.Random(meta_seed)
@@ -433,6 +477,7 @@ def replay(corpus_path: str, metamorphic: bool = True) -> FuzzReport:
                 report.solver_counts[run.name] = (
                     report.solver_counts.get(run.name, 0) + 1
                 )
+            _accumulate_engine_stats(report, diff)
             issues = list(diff.issues)
             kind = "differential" if issues else entry.kind
             # Crash entries may have crashed in either phase, so replay the

@@ -67,6 +67,89 @@ class TestJobQueries:
         assert first is second
 
 
+class TestJobSplitQueries:
+    """The queries the interval-DP engine uses to split subproblems."""
+
+    @pytest.fixture
+    def split_decomposition(self) -> IntervalDecomposition:
+        instance = MultiprocessorInstance.from_pairs(
+            [(0, 5), (1, 3), (1, 5), (4, 7), (6, 8)], num_processors=2
+        )
+        return IntervalDecomposition(instance)
+
+    def test_split_partitions_node_jobs(self, split_decomposition):
+        decomp = split_decomposition
+        node = decomp.node_jobs(0, 8, 5)
+        # Branching at t' = 3 must partition jobs into released-before and
+        # released-after exactly the way the DP's left/right children do.
+        num_right = decomp.count_released_after(node, 3)
+        left = [j for j in node if decomp.jobs[j].release <= 3]
+        assert len(left) + num_right == len(node)
+        assert num_right == 2  # releases 4 and 6
+
+    def test_node_jobs_prefix_is_stable_under_k(self, split_decomposition):
+        decomp = split_decomposition
+        for k in range(1, 5):
+            smaller = decomp.node_jobs(0, 8, k)
+            larger = decomp.node_jobs(0, 8, k + 1)
+            assert larger[: len(smaller)] == smaller
+
+    def test_subinterval_release_filtering(self, split_decomposition):
+        released = split_decomposition.jobs_released_in(4, 8)
+        assert set(released) == {3, 4}
+        assert split_decomposition.jobs_released_in(9, 20) == []
+
+    def test_candidate_columns_empty_outside_window(self, split_decomposition):
+        # Job 1 has window [1, 3]; clipped to [5, 8] nothing remains.
+        assert split_decomposition.candidate_columns_for_job(1, 5, 8) == []
+
+    def test_candidate_columns_clip_both_ends(self, split_decomposition):
+        cols = split_decomposition.candidate_columns_for_job(0, 2, 4)
+        assert [split_decomposition.column(i) for i in cols] == [2, 3, 4]
+
+
+class TestRangeCache:
+    def test_distinct_ranges_get_distinct_entries(self, decomposition):
+        a = decomposition.jobs_released_in(0, 5)
+        b = decomposition.jobs_released_in(0, 9)
+        assert a is not b
+        assert decomposition.jobs_released_in(0, 5) is a
+        assert decomposition.jobs_released_in(0, 9) is b
+
+    def test_cache_key_is_the_time_range(self, decomposition):
+        before = len(decomposition._range_cache)
+        decomposition.jobs_released_in(2, 8)
+        decomposition.jobs_released_in(2, 8)
+        assert len(decomposition._range_cache) == before + 1
+
+    def test_empty_range_is_cached_too(self, decomposition):
+        assert decomposition.jobs_released_in(100, 200) == []
+        assert decomposition.jobs_released_in(100, 200) is decomposition.jobs_released_in(
+            100, 200
+        )
+
+
+class TestDeadlineOrderDeterminism:
+    def test_ties_break_by_release_then_index(self):
+        instance = MultiprocessorInstance.from_pairs(
+            [(2, 5), (0, 5), (0, 5), (1, 3)], num_processors=1
+        )
+        decomp = IntervalDecomposition(instance)
+        # Deadline 3 first, then the three deadline-5 jobs by (release, index).
+        assert decomp.deadline_order == [3, 1, 2, 0]
+
+    def test_sparse_candidates_are_sorted_and_unique(self):
+        pairs = [(0, 2), (300, 302), (600, 603)]
+        instance = MultiprocessorInstance.from_pairs(pairs, num_processors=1)
+        decomp = IntervalDecomposition(instance)
+        assert decomp.columns == sorted(set(decomp.columns))
+        # Sparse: far below the 604-slot full horizon.
+        assert len(decomp.columns) < 604
+        for job in instance.jobs:
+            assert job.release in decomp.column_index
+            assert job.deadline in decomp.column_index
+
+
 class TestValidation:
     def test_requires_at_least_one_processor(self):
         # MultiprocessorInstance itself rejects p = 0, so build a valid one and

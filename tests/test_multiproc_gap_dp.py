@@ -132,7 +132,9 @@ class TestSolverObject:
             MultiprocessorInstance.from_pairs([(0, 3), (1, 4), (2, 6)], num_processors=2)
         )
         first = solver.solve()
-        size_after_first = len(solver._memo)
+        size_after_first = len(solver.engine.memo)
+        states_after_first = solver.engine.stats.states_computed
         second = solver.solve()
         assert first.num_gaps == second.num_gaps
-        assert len(solver._memo) == size_after_first
+        assert len(solver.engine.memo) == size_after_first
+        assert solver.engine.stats.states_computed == states_after_first

@@ -1,0 +1,169 @@
+"""Tests for the repro.perf benchmark subsystem (runner, schema, CLI)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.perf import (
+    BENCH_SCHEMA,
+    BenchCase,
+    BenchSchemaError,
+    default_cases,
+    run_bench,
+    time_callable,
+    validate_report,
+    validate_report_file,
+    write_report,
+)
+
+
+@pytest.fixture(scope="module")
+def quick_report():
+    """One shared quick bench run (repeats=1, no warmup) for the module."""
+    return run_bench(quick=True, repeats=1, warmup=0)
+
+
+class TestRunner:
+    def test_quick_report_is_schema_valid(self, quick_report):
+        validate_report(quick_report)
+        assert quick_report["schema"] == BENCH_SCHEMA
+        assert quick_report["quick"] is True
+
+    def test_every_case_has_baseline_and_speedup(self, quick_report):
+        for case in quick_report["cases"]:
+            assert case["baseline"] is not None
+            assert case["speedup"] > 0
+            assert case["engine_stats"]["states_computed"] > 0
+
+    def test_quick_matrix_is_a_prefix_of_the_full_matrix(self):
+        quick = [case.name for case in default_cases(quick=True)]
+        full = [case.name for case in default_cases(quick=False)]
+        assert full[: len(quick)] == quick
+        assert len(full) > len(quick)
+        # The headline medium instances are in the full matrix.
+        assert any(
+            case.num_jobs >= 40 and case.num_processors >= 3
+            for case in default_cases(quick=False)
+        )
+
+    def test_engine_only_mode_has_null_baseline(self):
+        cases = [BenchCase("gap/tiny", "gaps", "uniform", 4, 1, 6)]
+        report = run_bench(quick=True, repeats=1, warmup=0, baseline=False, cases=cases)
+        validate_report(report)
+        assert report["cases"][0]["baseline"] is None
+        assert report["cases"][0]["speedup"] is None
+
+    def test_bad_timing_discipline_rejected(self):
+        with pytest.raises(ValueError):
+            run_bench(repeats=0)
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError):
+            BenchCase("x", "gaps", "nope", 4, 1, 6).make_instance(0)
+
+    def test_time_callable_counts_runs(self):
+        timing = time_callable(lambda: sum(range(50)), repeats=3, warmup=1)
+        assert len(timing["runs"]) == 3
+        assert timing["best"] <= timing["median"] <= max(timing["runs"])
+
+
+class TestSchemaValidation:
+    def test_missing_top_level_key_is_drift(self, quick_report):
+        broken = dict(quick_report)
+        del broken["engine"]
+        with pytest.raises(BenchSchemaError, match="missing keys"):
+            validate_report(broken)
+
+    def test_unexpected_key_is_drift(self, quick_report):
+        broken = dict(quick_report)
+        broken["surprise"] = 1
+        with pytest.raises(BenchSchemaError, match="unexpected keys"):
+            validate_report(broken)
+
+    def test_wrong_schema_id_is_drift(self, quick_report):
+        broken = dict(quick_report)
+        broken["schema"] = "repro.perf/bench-dp/v999"
+        with pytest.raises(BenchSchemaError, match="schema id"):
+            validate_report(broken)
+
+    def test_case_drift_detected(self, quick_report):
+        broken = json.loads(json.dumps(quick_report))
+        del broken["cases"][0]["speedup"]
+        with pytest.raises(BenchSchemaError, match="missing keys"):
+            validate_report(broken)
+
+    def test_duplicate_case_names_rejected(self, quick_report):
+        broken = json.loads(json.dumps(quick_report))
+        broken["cases"].append(broken["cases"][0])
+        with pytest.raises(BenchSchemaError, match="duplicate"):
+            validate_report(broken)
+
+    def test_write_and_validate_roundtrip(self, quick_report, tmp_path):
+        path = tmp_path / "bench.json"
+        write_report(quick_report, str(path))
+        data = validate_report_file(str(path))
+        assert data == json.loads(path.read_text())
+
+
+class TestBenchCLI:
+    def test_bench_quick_writes_valid_report(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_smoke.json"
+        code = main(
+            ["bench", "--quick", "--out", str(out), "--repeats", "1", "--warmup", "0"]
+        )
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "speedup" in captured
+        validate_report_file(str(out))
+
+    def test_bench_check_accepts_valid_report(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        main(["bench", "--quick", "--out", str(out), "--repeats", "1", "--warmup", "0"])
+        capsys.readouterr()
+        assert main(["bench", "--check", str(out)]) == 0
+        assert "schema ok" in capsys.readouterr().out
+
+    def test_bench_check_fails_on_drift(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        main(["bench", "--quick", "--out", str(out), "--repeats", "1", "--warmup", "0"])
+        data = json.loads(out.read_text())
+        del data["cases"]
+        out.write_text(json.dumps(data))
+        capsys.readouterr()
+        assert main(["bench", "--check", str(out)]) == 1
+        assert "schema drift" in capsys.readouterr().out
+
+    def test_bench_check_rejects_conflicting_flags(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["bench", "--check", "x.json", "--quick"])
+
+    def test_bench_check_missing_file_is_usage_error(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["bench", "--check", str(tmp_path / "missing.json")])
+
+    def test_committed_report_is_schema_valid(self):
+        # BENCH_dp.json at the repo root is a released artifact; CI fails on
+        # drift, and so does the tier-1 suite.
+        import os
+
+        root = os.path.join(os.path.dirname(__file__), "..", "BENCH_dp.json")
+        data = validate_report_file(root)
+        assert data["quick"] is False
+        medium = [
+            case
+            for case in data["cases"]
+            if case["num_jobs"] >= 40 and case["num_processors"] >= 3
+        ]
+        assert medium, "full report must include the medium instances"
+        assert all(case["speedup"] >= 1.5 for case in medium)
+
+
+class TestFuzzProfile:
+    def test_fuzz_profile_prints_engine_stats(self, capsys):
+        code = main(["fuzz", "--seed", "2", "--n", "12", "--profile"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "engine profile:" in out
+        assert "states_computed" in out
+        assert "memo_hits" in out
