@@ -53,6 +53,12 @@ from .registry import (
     solve,
 )
 from . import solvers as _builtin_solvers  # noqa: F401  (registers the built-ins)
+from .solvers import (
+    clear_solve_cache,
+    configure_solve_cache,
+    solve_cache_bypass,
+    solve_cache_stats,
+)
 from .batch import solve_batch
 from .serialization import from_dict, from_json, to_dict, to_json
 
@@ -74,6 +80,11 @@ __all__ = [
     "solve",
     # batch execution
     "solve_batch",
+    # canonical solve cache
+    "configure_solve_cache",
+    "clear_solve_cache",
+    "solve_cache_bypass",
+    "solve_cache_stats",
     # JSON round-trip
     "to_dict",
     "from_dict",

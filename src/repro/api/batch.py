@@ -7,12 +7,26 @@ regardless of which worker finished first (``Pool.map`` preserves
 ordering).  Because every solver is deterministic and wall time is excluded
 from the canonical JSON form, a parallel run serializes byte-identically
 to a serial run of the same workload.
+
+Two layers de-duplicate repeated work in batch traffic:
+
+* **Exact duplicates** are collapsed here before dispatch: identical
+  ``(problem, solver)`` pairs are solved once and independent copies of the
+  :class:`~repro.api.result.SolveResult` are fanned back out to the
+  duplicate positions (disable with ``dedupe=False``).  This works in
+  serial and pool mode alike.
+* **Isomorphic duplicates** (time-shifted or job-permuted instances) are
+  caught one level down by the canonical solve cache in
+  :mod:`repro.api.solvers`, which remaps the cached optimal schedule onto
+  the new instance.  That cache is per-process, so serial batches benefit
+  across the whole workload while pool workers each warm their own.
 """
 
 from __future__ import annotations
 
+import copy
 import multiprocessing
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from .problem import Problem
 from .registry import solve
@@ -32,6 +46,7 @@ def solve_batch(
     solver: str = "auto",
     workers: Optional[int] = None,
     chunksize: int = 1,
+    dedupe: bool = True,
 ) -> List[SolveResult]:
     """Solve many problems, optionally in parallel, with deterministic ordering.
 
@@ -48,13 +63,41 @@ def solve_batch(
     chunksize:
         Pool chunk size; larger values amortize IPC for big batches of
         tiny problems.
+    dedupe:
+        Collapse identical ``(problem, solver)`` tasks before dispatch.
+        Each duplicate position receives an independent deep copy of the
+        single underlying result (so in-place post-processing of one
+        position never leaks into another); copying a result is orders of
+        magnitude cheaper than re-solving it.
 
     Returns
     -------
     One :class:`~repro.api.result.SolveResult` per problem, in input order.
     """
     task_list: Sequence[Tuple[Problem, str]] = [(p, solver) for p in problems]
-    if workers is None or workers <= 1 or len(task_list) <= 1:
-        return [_solve_task(task) for task in task_list]
-    with multiprocessing.Pool(processes=workers) as pool:
-        return pool.map(_solve_task, task_list, chunksize=chunksize)
+    if dedupe and len(task_list) > 1:
+        unique_tasks: List[Tuple[Problem, str]] = []
+        mapping: List[int] = []
+        index_of: Dict[Tuple[Problem, str], int] = {}
+        for task in task_list:
+            index = index_of.setdefault(task, len(unique_tasks))
+            if index == len(unique_tasks):
+                unique_tasks.append(task)
+            mapping.append(index)
+    else:
+        unique_tasks = list(task_list)
+        mapping = list(range(len(task_list)))
+    if workers is None or workers <= 1 or len(unique_tasks) <= 1:
+        results = [_solve_task(task) for task in unique_tasks]
+    else:
+        with multiprocessing.Pool(processes=workers) as pool:
+            results = pool.map(_solve_task, unique_tasks, chunksize=chunksize)
+    seen_indices = set()
+    fanned: List[SolveResult] = []
+    for index in mapping:
+        if index in seen_indices:
+            fanned.append(copy.deepcopy(results[index]))
+        else:
+            seen_indices.add(index)
+            fanned.append(results[index])
+    return fanned

@@ -25,7 +25,8 @@ dispatch never prefers an exponential enumeration over the polynomial DPs.
 from __future__ import annotations
 
 import math
-from typing import List, Optional
+from contextlib import contextmanager
+from typing import Dict, List, Optional, Tuple
 
 from ..core.baptiste import (
     minimize_gaps_single_processor,
@@ -38,7 +39,15 @@ from ..core.brute_force import (
     brute_force_power_multiproc,
     brute_force_throughput,
 )
+from ..core.canonical import (
+    CanonicalForm,
+    CanonicalSolveCache,
+    canonical_assignment,
+    canonical_form,
+    restore_assignment,
+)
 from ..core.greedy_gap import greedy_gap_schedule
+from ..core.interval_dp import staircase_schedule
 from ..core.jobs import (
     MultiIntervalInstance,
     MultiprocessorInstance,
@@ -48,12 +57,164 @@ from ..core.multiproc_gap_dp import MultiprocessorGapSolver
 from ..core.multiproc_power_dp import MultiprocessorPowerSolver
 from ..core.online import online_gap_schedule
 from ..core.power_approx import approximate_power_schedule
+from ..core.schedule import Schedule
 from ..core.throughput import greedy_throughput_schedule
 from .problem import Problem
 from .registry import register_solver
 from .result import SolveResult
 
-__all__: List[str] = []
+__all__: List[str] = [
+    "clear_solve_cache",
+    "configure_solve_cache",
+    "solve_cache_bypass",
+    "solve_cache_stats",
+]
+
+# ---------------------------------------------------------------------------
+# cross-call canonical solve cache (exact DP adapters)
+# ---------------------------------------------------------------------------
+#: Default capacity of the canonical solve cache (entries, LRU-evicted).
+DEFAULT_SOLVE_CACHE_SIZE = 256
+
+#: Bounded LRU keyed by (objective, parameters, canonical instance key).
+#: Shared by the exact gap-dp / power-dp adapters so repeated or
+#: shift/permutation-isomorphic instances — the common shape of
+#: ``solve_batch`` traffic — skip the DP entirely.  Per-process state: pool
+#: workers each warm their own copy.
+_SOLVE_CACHE = CanonicalSolveCache(maxsize=DEFAULT_SOLVE_CACHE_SIZE)
+
+
+def configure_solve_cache(maxsize: int) -> None:
+    """Resize the canonical solve cache; ``maxsize <= 0`` disables it."""
+    _SOLVE_CACHE.configure(maxsize)
+
+
+def clear_solve_cache() -> None:
+    """Drop every cached solve and reset the hit/miss counters."""
+    _SOLVE_CACHE.clear()
+
+
+def solve_cache_stats() -> Dict[str, int]:
+    """Hit/miss/size counters of the canonical solve cache."""
+    return _SOLVE_CACHE.stats()
+
+
+_BYPASS_DEPTH = 0
+
+
+@contextmanager
+def solve_cache_bypass():
+    """Temporarily run the exact adapters without the canonical cache.
+
+    Inside the context, lookups are skipped, nothing is stored, and the
+    hit/miss counters are untouched.  The verification harness uses this
+    so metamorphic relations (shift/permutation invariance) keep testing
+    the DP itself rather than the cache's schedule remapping.
+    """
+    global _BYPASS_DEPTH
+    _BYPASS_DEPTH += 1
+    try:
+        yield
+    finally:
+        _BYPASS_DEPTH -= 1
+
+
+def _replay_engine_meta(engine_meta: Optional[Dict]) -> Optional[Dict]:
+    # Cache hits replay the original solve's engine metadata verbatim, so a
+    # hit result is byte-identical to the miss that populated it — batch
+    # runs stay deterministic regardless of cache state.  Hit/miss traffic
+    # is observable through solve_cache_stats() instead of the envelope.
+    if engine_meta is None:
+        return None
+    copied = dict(engine_meta)
+    stats = copied.get("stats")
+    if isinstance(stats, dict):
+        copied["stats"] = dict(stats)
+    return copied
+
+
+def _replay_hit(
+    problem: Problem, form: CanonicalForm, cached: Tuple, extra_base: Dict
+) -> SolveResult:
+    """Rebuild a full result for this problem from a canonical cache entry."""
+    feasible, value, assignment, engine_meta = cached
+    if not feasible:
+        return _infeasible(problem)
+    times = restore_assignment(form, assignment)
+    if isinstance(problem.instance, OneIntervalInstance):
+        schedule = Schedule(instance=problem.instance, assignment=times)
+        schedule.validate()
+    else:
+        schedule = staircase_schedule(problem.instance, times)
+    extra = dict(extra_base)
+    extra["engine"] = _replay_engine_meta(engine_meta)
+    return SolveResult(
+        status="optimal",
+        objective=problem.objective,
+        value=value,
+        schedule=schedule,
+        guarantee_factor=1.0,
+        extra=extra,
+    )
+
+
+def _cached_exact_solve(
+    problem: Problem, objective_key: Tuple, extra_base: Dict, solve_fresh
+) -> SolveResult:
+    """The canonical-cache flow shared by the exact gap/power adapters.
+
+    ``solve_fresh()`` runs the underlying solver and returns
+    ``(feasible, value, schedule, times, engine_meta)`` with ``times`` the
+    raw ``job -> execution time`` map of the schedule (ignored when
+    infeasible).  The cache stores a *copy* of the engine metadata (via
+    :func:`_replay_engine_meta`): the same dict is returned in the result's
+    ``extra``, and a caller mutating it must not poison later hits.
+    """
+    form, cached = _lookup_canonical(objective_key, problem.instance)
+    if cached is not None:
+        return _replay_hit(problem, form, cached, extra_base)
+    feasible, value, schedule, times, engine_meta = solve_fresh()
+    if not feasible:
+        _store_canonical(objective_key, form, False, None, None)
+        return _infeasible(problem)
+    _store_canonical(
+        objective_key, form, True, value, times, _replay_engine_meta(engine_meta)
+    )
+    return SolveResult(
+        status="optimal",
+        objective=problem.objective,
+        value=value,
+        schedule=schedule,
+        guarantee_factor=1.0,
+        extra={**extra_base, "engine": engine_meta},
+    )
+
+
+def _lookup_canonical(
+    objective_key: Tuple, instance
+) -> Tuple[Optional[CanonicalForm], Optional[Tuple]]:
+    # A disabled cache skips canonicalization entirely — disabled means no
+    # per-solve overhead, not just no hits.
+    if _BYPASS_DEPTH or _SOLVE_CACHE.maxsize <= 0:
+        return None, None
+    form = canonical_form(instance)
+    return form, _SOLVE_CACHE.get((objective_key, form.key))
+
+
+def _store_canonical(
+    objective_key: Tuple,
+    form: Optional[CanonicalForm],
+    feasible: bool,
+    value,
+    times: Optional[Dict[int, int]],
+    engine_meta: Optional[Dict] = None,
+) -> None:
+    if form is None:  # bypassed lookup — do not populate either
+        return
+    assignment = canonical_assignment(form, times) if times is not None else None
+    _SOLVE_CACHE.put(
+        (objective_key, form.key), (feasible, value, assignment, engine_meta)
+    )
 
 
 def _infeasible(problem: Problem) -> SolveResult:
@@ -78,32 +239,40 @@ def _infeasible(problem: Problem) -> SolveResult:
 def _solve_gap_dp(problem: Problem) -> SolveResult:
     instance = problem.instance
     if isinstance(instance, OneIntervalInstance):
-        single = minimize_gaps_single_processor(instance)
-        if not single.feasible:
-            return _infeasible(problem)
-        return SolveResult(
-            status="optimal",
-            objective="gaps",
-            value=single.num_gaps,
-            schedule=single.schedule,
-            guarantee_factor=1.0,
-            extra={"exact": True, "engine": single.engine},
+
+        def solve_fresh():
+            single = minimize_gaps_single_processor(instance)
+            if not single.feasible:
+                return False, None, None, None, None
+            return (
+                True,
+                single.num_gaps,
+                single.schedule,
+                dict(single.schedule.assignment),
+                single.engine,
+            )
+
+        return _cached_exact_solve(problem, ("gaps",), {"exact": True}, solve_fresh)
+
+    def solve_fresh():
+        solver = MultiprocessorGapSolver(instance)
+        solution = solver.solve()
+        if not solution.feasible:
+            return False, None, None, None, None
+        times = {j: t for j, (_proc, t) in solution.schedule.assignment.items()}
+        return (
+            True,
+            solution.num_gaps,
+            solution.schedule,
+            times,
+            solver.engine_metadata(),
         )
-    solver = MultiprocessorGapSolver(instance)
-    solution = solver.solve()
-    if not solution.feasible:
-        return _infeasible(problem)
-    return SolveResult(
-        status="optimal",
-        objective="gaps",
-        value=solution.num_gaps,
-        schedule=solution.schedule,
-        guarantee_factor=1.0,
-        extra={
-            "num_processors": instance.num_processors,
-            "exact": True,
-            "engine": solver.engine_metadata(),
-        },
+
+    return _cached_exact_solve(
+        problem,
+        ("gaps",),
+        {"num_processors": instance.num_processors, "exact": True},
+        solve_fresh,
     )
 
 
@@ -117,34 +286,44 @@ def _solve_gap_dp(problem: Problem) -> SolveResult:
 def _solve_power_dp(problem: Problem) -> SolveResult:
     instance = problem.instance
     alpha = problem.alpha
+    objective_key = ("power", alpha)
     if isinstance(instance, OneIntervalInstance):
-        single = minimize_power_single_processor(instance, alpha=alpha)
-        if not single.feasible:
-            return _infeasible(problem)
-        return SolveResult(
-            status="optimal",
-            objective="power",
-            value=single.power,
-            schedule=single.schedule,
-            guarantee_factor=1.0,
-            extra={"alpha": alpha, "exact": True, "engine": single.engine},
+
+        def solve_fresh():
+            single = minimize_power_single_processor(instance, alpha=alpha)
+            if not single.feasible:
+                return False, None, None, None, None
+            return (
+                True,
+                single.power,
+                single.schedule,
+                dict(single.schedule.assignment),
+                single.engine,
+            )
+
+        return _cached_exact_solve(
+            problem, objective_key, {"alpha": alpha, "exact": True}, solve_fresh
         )
-    solver = MultiprocessorPowerSolver(instance, alpha=alpha)
-    solution = solver.solve()
-    if not solution.feasible:
-        return _infeasible(problem)
-    return SolveResult(
-        status="optimal",
-        objective="power",
-        value=solution.power,
-        schedule=solution.schedule,
-        guarantee_factor=1.0,
-        extra={
-            "alpha": alpha,
-            "num_processors": instance.num_processors,
-            "exact": True,
-            "engine": solver.engine_metadata(),
-        },
+
+    def solve_fresh():
+        solver = MultiprocessorPowerSolver(instance, alpha=alpha)
+        solution = solver.solve()
+        if not solution.feasible:
+            return False, None, None, None, None
+        times = {j: t for j, (_proc, t) in solution.schedule.assignment.items()}
+        return (
+            True,
+            solution.power,
+            solution.schedule,
+            times,
+            solver.engine_metadata(),
+        )
+
+    return _cached_exact_solve(
+        problem,
+        objective_key,
+        {"alpha": alpha, "num_processors": instance.num_processors, "exact": True},
+        solve_fresh,
     )
 
 

@@ -31,10 +31,13 @@ Sub-commands
     ``--profile`` to print the interval-DP engine's aggregated pruning and
     memoization statistics.
 ``bench``
-    Benchmark the interval-DP engine against the frozen pre-engine solvers
-    over the generator families and write a schema-validated JSON report
-    (``BENCH_dp.json``); ``--quick`` is the CI smoke matrix and ``--check``
-    validates an existing report's schema without re-running anything.
+    Benchmark the interval-DP engines (v2 bottom-up vs v1 trampoline) and
+    the frozen pre-engine seed solvers over the generator families and
+    write a schema-validated JSON report (``BENCH_dp.json``); ``--quick``
+    is the CI smoke matrix, ``--check`` validates an existing report's
+    schema without re-running anything, and ``--compare PATH`` gates the
+    fresh run against a committed report (exit 1 on a >1.25x median
+    regression of any shared case above the noise floor).
 
 All solving goes through :mod:`repro.api`; this module never imports a
 solver implementation directly.
@@ -221,7 +224,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench = sub.add_parser(
         "bench",
-        help="benchmark the interval-DP engine against the frozen seed solvers",
+        help="benchmark the interval-DP engines against each other and the seed solvers",
     )
     bench.add_argument(
         "--quick", action="store_true", help="reduced CI smoke matrix"
@@ -237,12 +240,29 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--no-baseline",
         action="store_true",
-        help="time the engine only (no seed-solver comparison)",
+        help="skip the frozen seed-solver comparison",
+    )
+    bench.add_argument(
+        "--no-v1",
+        action="store_true",
+        help="skip the v1 trampoline-engine comparison",
     )
     bench.add_argument(
         "--check",
         metavar="PATH",
         help="validate an existing report's schema and exit (runs nothing)",
+    )
+    bench.add_argument(
+        "--compare",
+        metavar="PATH",
+        help="after running, gate the fresh report against a committed report "
+        "and exit 1 when any shared case's engine median regresses beyond "
+        "the threshold",
+    )
+    bench.add_argument(
+        "--threshold",
+        type=float,
+        help="regression factor for --compare (default 1.25)",
     )
 
     return parser
@@ -488,7 +508,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0 if report.ok else 1
 
     if args.command == "bench":
-        from .perf import BenchSchemaError, run_bench, validate_report_file, write_report
+        from .perf import (
+            DEFAULT_REGRESSION_THRESHOLD,
+            BenchSchemaError,
+            compare_reports,
+            run_bench,
+            validate_report_file,
+            write_report,
+        )
 
         if args.check is not None:
             conflicting = [
@@ -497,10 +524,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     ("--repeats", args.repeats),
                     ("--warmup", args.warmup),
                     ("--out", args.out),
+                    ("--compare", args.compare),
+                    ("--threshold", args.threshold),
                 ]
                 if value is not None
             ]
-            if args.quick or args.no_baseline or args.seed != 0 or conflicting:
+            if args.quick or args.no_baseline or args.no_v1 or args.seed != 0 or conflicting:
                 parser.error(
                     "--check only validates an existing report; drop the other flags"
                 )
@@ -517,21 +546,36 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             )
             return 0
 
+        if args.threshold is not None and args.compare is None:
+            parser.error("--threshold is only meaningful with --compare")
+        if args.threshold is not None and args.threshold <= 0:
+            parser.error("--threshold must be positive")
+
         def _print_case(record) -> None:
             engine_ms = record["engine"]["median"] * 1000.0
+            line = f"{record['name']:<28} v2 {engine_ms:>9.2f} ms"
+            if record["engine_v1"] is not None:
+                v1_ms = record["engine_v1"]["median"] * 1000.0
+                line += f"   v1 {v1_ms:>9.2f} ms ({record['speedup_vs_v1']:.2f}x)"
             if record["baseline"] is not None:
                 base_ms = record["baseline"]["median"] * 1000.0
-                print(
-                    f"{record['name']:<28} engine {engine_ms:>9.2f} ms   "
-                    f"seed {base_ms:>9.2f} ms   speedup {record['speedup']:.2f}x"
-                )
-            else:
-                print(f"{record['name']:<28} engine {engine_ms:>9.2f} ms")
+                line += f"   seed {base_ms:>9.2f} ms (speedup {record['speedup']:.2f}x)"
+            print(line)
 
         if args.repeats is not None and args.repeats < 1:
             parser.error("--repeats must be >= 1")
         if args.warmup is not None and args.warmup < 0:
             parser.error("--warmup must be >= 0")
+        committed = None
+        if args.compare is not None:
+            # Load the committed report before the (slow) run so a bad path
+            # or schema fails fast.
+            try:
+                committed = validate_report_file(args.compare)
+            except OSError as exc:
+                parser.error(f"cannot read report {args.compare!r}: {exc}")
+            except (BenchSchemaError, ValueError) as exc:
+                parser.error(f"--compare report {args.compare!r}: {exc}")
         out = args.out
         if out is None:
             out = "BENCH_smoke.json" if args.quick else "BENCH_dp.json"
@@ -541,10 +585,42 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             warmup=args.warmup,
             seed=args.seed,
             baseline=not args.no_baseline,
+            compare_v1=not args.no_v1,
             progress=_print_case,
         )
         write_report(report, out)
         print(f"report written to {out}")
+        if committed is not None:
+            threshold = (
+                DEFAULT_REGRESSION_THRESHOLD
+                if args.threshold is None
+                else args.threshold
+            )
+            outcome = compare_reports(report, committed, threshold=threshold)
+            print(
+                f"regression gate vs {args.compare}: "
+                f"{len(outcome['compared'])} cases compared, "
+                f"{len(outcome['skipped'])} skipped (sub-noise-floor), "
+                f"{len(outcome['unmatched'])} unmatched"
+            )
+            if outcome["regressions"]:
+                for entry in outcome["regressions"]:
+                    if entry["metric"] == "speedup_vs_v1":
+                        detail = (
+                            f"v2-over-v1 speedup fell to {entry['fresh_value']:.2f}x "
+                            f"from committed {entry['committed_value']:.2f}x"
+                        )
+                    else:
+                        detail = (
+                            f"{entry['fresh_value'] * 1000.0:.2f} ms vs committed "
+                            f"{entry['committed_value'] * 1000.0:.2f} ms"
+                        )
+                    print(
+                        f"  REGRESSION {entry['name']}: {detail} "
+                        f"({entry['ratio']:.2f}x > {threshold:.2f}x)"
+                    )
+                return 1
+            print(f"no case regressed beyond {threshold:.2f}x")
         return 0
 
     if args.command == "experiment":

@@ -38,12 +38,16 @@ from .baptiste import (
     minimize_power_single_processor,
 )
 from .interval_dp import (
+    ENGINE_CHOICES,
     ENGINE_NAME,
     ENGINE_VERSION,
+    TRAMPOLINE_ENGINE_VERSION,
     EngineStats,
     GapObjective,
     IntervalDPEngine,
     PowerObjective,
+    TrampolineDPEngine,
+    build_engine,
 )
 from .multiproc_gap_dp import GapSolution, MultiprocessorGapSolver, solve_multiprocessor_gap
 from .multiproc_power_dp import (
@@ -82,8 +86,12 @@ __all__ = [
     "minimize_power_single_processor",
     "ENGINE_NAME",
     "ENGINE_VERSION",
+    "ENGINE_CHOICES",
+    "TRAMPOLINE_ENGINE_VERSION",
     "EngineStats",
     "IntervalDPEngine",
+    "TrampolineDPEngine",
+    "build_engine",
     "GapObjective",
     "PowerObjective",
     "MultiprocessorGapSolver",

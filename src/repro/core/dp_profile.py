@@ -19,6 +19,15 @@ single-processor algorithm [Bap06] exactly as the paper does in Section 2:
 This module centralises the parts that are identical for the gap and power
 objectives: candidate columns, the deadline ordering, and the job-set
 queries used to split subproblems.
+
+Two invariants of the candidate set are load-bearing elsewhere: every
+release and every deadline is itself a candidate column (the set contains
+``[r, r + n]`` and ``[d - n, d]`` clipped to the horizon), which lets
+:mod:`repro.core.canonical` express job windows in column coordinates, and
+the v2 engine (:class:`repro.core.interval_dp.IntervalDPEngine`) groups
+jobs by release column to build released-job lists incrementally instead
+of re-scanning via :meth:`IntervalDecomposition.jobs_released_in` (which
+remains the per-interval query used by the v1 trampoline evaluator).
 """
 
 from __future__ import annotations

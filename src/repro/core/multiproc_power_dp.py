@@ -29,7 +29,7 @@ from typing import Dict, Optional, Union
 
 from .dp_profile import IntervalDecomposition
 from .exceptions import InfeasibleInstanceError
-from .interval_dp import IntervalDPEngine, PowerObjective, staircase_schedule
+from .interval_dp import PowerObjective, build_engine, staircase_schedule
 from .jobs import MultiprocessorInstance, OneIntervalInstance
 from .schedule import MultiprocessorSchedule
 
@@ -64,6 +64,9 @@ class MultiprocessorPowerSolver:
         Non-negative wake-up (transition) cost.
     use_full_horizon:
         Use all integer times as candidate columns (tests only).
+    engine:
+        Evaluator selector: ``"v2"`` (default, bottom-up array-packed) or
+        ``"v1"`` (legacy generator trampoline, kept for benchmarks).
     """
 
     def __init__(
@@ -71,6 +74,7 @@ class MultiprocessorPowerSolver:
         instance: Union[MultiprocessorInstance, OneIntervalInstance],
         alpha: float,
         use_full_horizon: bool = False,
+        engine: str = "v2",
     ) -> None:
         if isinstance(instance, OneIntervalInstance):
             instance = instance.to_multiprocessor(1)
@@ -79,7 +83,9 @@ class MultiprocessorPowerSolver:
         self.p = instance.num_processors
         self.decomp = IntervalDecomposition(instance, use_full_horizon=use_full_horizon)
         # PowerObjective validates alpha >= 0.
-        self.engine = IntervalDPEngine(self.decomp, PowerObjective(self.p, alpha))
+        self.engine = build_engine(
+            self.decomp, PowerObjective(self.p, alpha), engine=engine
+        )
 
     def solve(self) -> PowerSolution:
         """Solve the instance, returning the optimal power and a schedule."""
@@ -110,9 +116,10 @@ def solve_multiprocessor_power(
     instance: Union[MultiprocessorInstance, OneIntervalInstance],
     alpha: float,
     use_full_horizon: bool = False,
+    engine: str = "v2",
 ) -> PowerSolution:
     """Solve multiprocessor power minimization exactly (Theorem 2 convenience wrapper)."""
     solver = MultiprocessorPowerSolver(
-        instance, alpha=alpha, use_full_horizon=use_full_horizon
+        instance, alpha=alpha, use_full_horizon=use_full_horizon, engine=engine
     )
     return solver.solve()

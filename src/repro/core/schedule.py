@@ -134,6 +134,12 @@ class Schedule:
     times, deadlines and allowed-time sets, and so that reports can show job
     names.  All accounting helpers ignore the instance and work purely on the
     set of busy times, matching the paper's definitions.
+
+    :meth:`busy_times` and :meth:`spans` are computed once and cached —
+    certification and metamorphic checks read them repeatedly per schedule
+    in the fuzz hot path.  Schedules are treated as value objects after
+    construction; the rare caller that mutates ``assignment`` in place must
+    call :meth:`invalidate_caches` afterwards.
     """
 
     instance: Union[OneIntervalInstance, MultiIntervalInstance]
@@ -141,6 +147,13 @@ class Schedule:
 
     def __post_init__(self) -> None:
         self.assignment = dict(self.assignment)
+        self._busy_cache: Optional[List[int]] = None
+        self._spans_cache: Optional[List[Tuple[int, int]]] = None
+
+    def invalidate_caches(self) -> None:
+        """Drop the cached accounting views after an in-place mutation."""
+        self._busy_cache = None
+        self._spans_cache = None
 
     # -- structural accessors -------------------------------------------------
     @property
@@ -153,34 +166,52 @@ class Schedule:
         """Number of scheduled jobs."""
         return len(self.assignment)
 
+    def _busy(self) -> List[int]:
+        cached = self._busy_cache
+        if cached is None:
+            cached = self._busy_cache = sorted(self.assignment.values())
+        return cached
+
     def busy_times(self) -> List[int]:
-        """Sorted list of times at which a job executes."""
-        return sorted(self.assignment.values())
+        """Sorted list of times at which a job executes.
+
+        The sort is computed once and cached; the returned list is a fresh
+        copy, so callers may mutate it freely.
+        """
+        return list(self._busy())
 
     def is_complete(self) -> bool:
         """True when every job of the instance is scheduled."""
         return len(self.assignment) == len(self.instance.jobs)
 
     # -- objective values ------------------------------------------------------
+    def _spans(self) -> List[Tuple[int, int]]:
+        cached = self._spans_cache
+        if cached is None:
+            cached = self._spans_cache = spans_of_busy_times(self._busy())
+        return cached
+
     def spans(self) -> List[Tuple[int, int]]:
-        """Maximal busy runs as inclusive (start, end) pairs."""
-        return spans_of_busy_times(self.busy_times())
+        """Maximal busy runs as inclusive (start, end) pairs (computed once,
+        returned as a fresh copy)."""
+        return list(self._spans())
 
     def num_spans(self) -> int:
         """Number of maximal busy runs."""
-        return len(self.spans())
+        return len(self._spans())
 
     def num_gaps(self) -> int:
         """Number of gaps (finite maximal idle intervals)."""
-        return gaps_of_busy_times(self.busy_times())
+        return max(0, len(self._spans()) - 1)
 
     def gap_lengths(self) -> List[int]:
         """Lengths of all gaps in time order."""
-        return gap_lengths_of_busy_times(self.busy_times())
+        spans = self._spans()
+        return [s1 - e0 - 1 for (_s0, e0), (s1, _e1) in zip(spans, spans[1:])]
 
     def power_cost(self, alpha: float) -> float:
         """Power cost with wake-up cost ``alpha`` (see module docstring)."""
-        return power_cost_of_busy_times(self.busy_times(), alpha)
+        return power_cost_of_busy_times(self._busy(), alpha)
 
     # -- validation ------------------------------------------------------------
     def validate(self, require_complete: bool = True) -> None:
@@ -243,6 +274,11 @@ class MultiprocessorSchedule:
 
     def __post_init__(self) -> None:
         self.assignment = {k: (int(p), int(t)) for k, (p, t) in self.assignment.items()}
+        self._by_proc_cache: Optional[Dict[int, List[int]]] = None
+
+    def invalidate_caches(self) -> None:
+        """Drop the cached accounting views after an in-place mutation."""
+        self._by_proc_cache = None
 
     # -- structural accessors -------------------------------------------------
     @property
@@ -254,12 +290,26 @@ class MultiprocessorSchedule:
         """True when every job of the instance is scheduled."""
         return len(self.assignment) == len(self.instance.jobs)
 
+    def _by_proc(self) -> Dict[int, List[int]]:
+        cached = self._by_proc_cache
+        if cached is None:
+            by_proc: Dict[int, List[int]] = {}
+            for _job, (proc, t) in self.assignment.items():
+                by_proc.setdefault(proc, []).append(t)
+            cached = self._by_proc_cache = {
+                proc: sorted(times) for proc, times in by_proc.items()
+            }
+        return cached
+
     def busy_times_by_processor(self) -> Dict[int, List[int]]:
-        """Map each processor to the sorted list of its busy times."""
-        by_proc: Dict[int, List[int]] = {}
-        for _job, (proc, t) in self.assignment.items():
-            by_proc.setdefault(proc, []).append(t)
-        return {proc: sorted(times) for proc, times in by_proc.items()}
+        """Map each processor to the sorted list of its busy times.
+
+        The grouping and per-processor sorts are computed once and cached
+        (gap and power accounting both group by processor, and
+        certification reads them repeatedly); the returned mapping and its
+        lists are fresh copies, safe for callers to mutate.
+        """
+        return {proc: list(times) for proc, times in self._by_proc().items()}
 
     def occupancy_profile(self) -> Dict[int, int]:
         """Number of busy processors per time column."""
@@ -267,28 +317,24 @@ class MultiprocessorSchedule:
 
     def used_processors(self) -> int:
         """Number of processors that execute at least one job."""
-        return len(self.busy_times_by_processor())
+        return len(self._by_proc())
 
     # -- objective values ------------------------------------------------------
     def num_gaps(self) -> int:
         """Total number of gaps summed over processors (Theorem 1 objective)."""
-        return sum(
-            gaps_of_busy_times(times)
-            for times in self.busy_times_by_processor().values()
-        )
+        return sum(gaps_of_busy_times(times) for times in self._by_proc().values())
 
     def gaps_by_processor(self) -> Dict[int, int]:
         """Per-processor gap counts."""
         return {
-            proc: gaps_of_busy_times(times)
-            for proc, times in self.busy_times_by_processor().items()
+            proc: gaps_of_busy_times(times) for proc, times in self._by_proc().items()
         }
 
     def power_cost(self, alpha: float) -> float:
         """Total power cost summed over processors (Theorem 2 objective)."""
         return sum(
             power_cost_of_busy_times(times, alpha)
-            for times in self.busy_times_by_processor().values()
+            for times in self._by_proc().values()
         )
 
     # -- normalization ---------------------------------------------------------

@@ -25,6 +25,7 @@ from .jobs import Job, MultiprocessorInstance, OneIntervalInstance
 __all__ = [
     "candidate_times",
     "candidate_times_for_jobs",
+    "stretch_lengths",
     "SMALL_HORIZON_FACTOR",
     "SMALL_HORIZON_SLACK",
 ]
@@ -73,3 +74,18 @@ def candidate_times(
 ) -> List[int]:
     """Candidate execution times for a one-interval or multiprocessor instance."""
     return candidate_times_for_jobs(instance.jobs, use_full_horizon=use_full_horizon)
+
+
+def stretch_lengths(columns: Sequence[int]) -> Tuple[int, ...]:
+    """Idle-stretch lengths between consecutive candidate columns.
+
+    ``stretch_lengths(columns)[i]`` is the number of integer times strictly
+    between ``columns[i]`` and ``columns[i + 1]``.  Together with the column
+    count, the stretch vector determines the time geometry the interval DPs
+    see: the gap objective reads only column adjacency from it and the power
+    objective charges ``min(stretch, alpha)`` bridges over it, which is why
+    :mod:`repro.core.canonical` preserves it exactly in the canonical key.
+    """
+    return tuple(
+        columns[i + 1] - columns[i] - 1 for i in range(len(columns) - 1)
+    )

@@ -13,7 +13,10 @@ thin wrapper around :func:`repro.perf.bench.run_bench`.
 from .bench import BenchCase, default_cases, run_bench, time_callable
 from .report import (
     BENCH_SCHEMA,
+    DEFAULT_REGRESSION_MIN_MEDIAN,
+    DEFAULT_REGRESSION_THRESHOLD,
     BenchSchemaError,
+    compare_reports,
     load_report,
     validate_report,
     validate_report_file,
@@ -27,6 +30,9 @@ __all__ = [
     "time_callable",
     "BENCH_SCHEMA",
     "BenchSchemaError",
+    "compare_reports",
+    "DEFAULT_REGRESSION_THRESHOLD",
+    "DEFAULT_REGRESSION_MIN_MEDIAN",
     "load_report",
     "validate_report",
     "validate_report_file",

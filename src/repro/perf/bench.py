@@ -1,17 +1,21 @@
-"""Timed runners for the interval-DP engine over the generator families.
+"""Timed runners for the interval-DP engines over the generator families.
 
 Each :class:`BenchCase` pins one instance (family + parameters + seed) and
-is solved by both the engine-backed solver and the frozen seed baseline,
-with warmup and repeat control; the solvers are constructed fresh for every
-timed run so memo tables never leak between repetitions.  The runner
-differentially asserts that engine and baseline agree on feasibility and
-value for every case — a benchmark that silently timed a wrong answer would
-be worse than no benchmark.
+is solved by up to three implementations — the v2 bottom-up engine, the v1
+trampoline engine, and the frozen pre-engine seed solver — with warmup and
+repeat control; solvers are constructed fresh for every timed run so memo
+tables never leak between repetitions.  The runner differentially asserts
+that every measured implementation agrees on feasibility and value for
+every case — a benchmark that silently timed a wrong answer would be worse
+than no benchmark.
 
 ``run_bench(quick=True)`` is the CI smoke matrix (small instances, a couple
-of seconds); the default full matrix includes the medium instances
-(n >= 40, p >= 3) whose before/after trajectory is the headline artifact in
-``BENCH_dp.json``.
+of seconds); the default full matrix adds the medium (n >= 40, p >= 3) and
+large (n = 60/80, p = 3/4) instances whose seed -> v1 -> v2 trajectory is
+the headline artifact in ``BENCH_dp.json``.  The largest cases skip the
+seed baseline (``seed_baseline=False``): the recursive seed solvers take
+tens of seconds there and their column is already anchored by the shared
+medium cases.
 """
 
 from __future__ import annotations
@@ -52,6 +56,7 @@ class BenchCase:
     horizon: int
     alpha: Optional[float] = None
     window: int = 4  # sparse-wide only: per-job window length
+    seed_baseline: bool = True  # time the frozen seed solver on this case
 
     def make_instance(self, seed: int) -> MultiprocessorInstance:
         """Build the case's instance deterministically from ``seed``."""
@@ -80,7 +85,7 @@ class BenchCase:
         if self.family == "sparse-wide":
             # Long-horizon staircase: sparse releases, overlapping windows.
             # This is the family that drove the seed solvers deepest into the
-            # native stack; the engine evaluates it iteratively.
+            # native stack; both engines evaluate it iteratively.
             step = max(1, self.horizon // max(1, self.num_jobs))
             pairs = [
                 (i * step, i * step + self.window) for i in range(self.num_jobs)
@@ -113,6 +118,26 @@ def default_cases(quick: bool = False) -> List[BenchCase]:
         BenchCase(
             "power/sparse-wide-n60-p1-a3", "power", "sparse-wide", 60, 1, 120, alpha=3.0
         ),
+        # Large exact families (engine v2 headline cases).  The n = 80
+        # cases skip the seed baseline: the frozen recursive solvers need
+        # tens of seconds per run there, and the seed column is already
+        # anchored by the shared n <= 60 cases.
+        BenchCase("gap/uniform-n60-p3", "gaps", "uniform", 60, 3, 40),
+        BenchCase("power/uniform-n60-p3-a2", "power", "uniform", 60, 3, 40, alpha=2.0),
+        BenchCase("gap/uniform-n60-p4", "gaps", "uniform", 60, 4, 36),
+        BenchCase(
+            "gap/uniform-n80-p4", "gaps", "uniform", 80, 4, 48, seed_baseline=False
+        ),
+        BenchCase(
+            "power/uniform-n80-p4-a2",
+            "power",
+            "uniform",
+            80,
+            4,
+            48,
+            alpha=2.0,
+            seed_baseline=False,
+        ),
     ]
     return cases
 
@@ -136,14 +161,14 @@ def time_callable(
     }
 
 
-def _engine_solve(case: BenchCase, instance):
-    """Solve with the engine-backed solver; returns (feasible, value, stats)."""
+def _engine_solve(case: BenchCase, instance, engine: str = "v2"):
+    """Solve with an engine-backed solver; returns (feasible, value, stats)."""
     if case.objective == "gaps":
-        solver = MultiprocessorGapSolver(instance)
+        solver = MultiprocessorGapSolver(instance, engine=engine)
         solution = solver.solve()
         value = solution.num_gaps
     else:
-        solver = MultiprocessorPowerSolver(instance, alpha=case.alpha)
+        solver = MultiprocessorPowerSolver(instance, alpha=case.alpha, engine=engine)
         solution = solver.solve()
         value = solution.power
     return solution.feasible, value, solver.engine.stats.as_dict()
@@ -164,12 +189,23 @@ def _values_agree(a, b) -> bool:
     return abs(float(a) - float(b)) <= 1e-6
 
 
+def _assert_agreement(case: BenchCase, label: str, feasible, value, other) -> None:
+    other_feasible, other_value = other
+    if other_feasible != feasible or not _values_agree(value, other_value):
+        raise AssertionError(
+            f"bench case {case.name}: engine v2 value {value!r} (feasible="
+            f"{feasible}) disagrees with {label} {other_value!r} "
+            f"(feasible={other_feasible})"
+        )
+
+
 def run_bench(
     quick: bool = False,
     repeats: Optional[int] = None,
     warmup: Optional[int] = None,
     seed: int = 0,
     baseline: bool = True,
+    compare_v1: bool = True,
     cases: Optional[List[BenchCase]] = None,
     progress: Optional[Callable[[Dict], None]] = None,
 ) -> Dict:
@@ -184,12 +220,18 @@ def run_bench(
     seed:
         Master seed for the instance generators.
     baseline:
-        Also time the frozen seed solvers and report speedups; disabling
-        this times the engine alone (baseline/speedup become null).
+        Also time the frozen seed solvers (on cases that allow it) and
+        report speedups; disabling this leaves baseline/speedup null.
+    compare_v1:
+        Also time the v1 trampoline engine and report ``speedup_vs_v1``;
+        disabling this leaves engine_v1/speedup_vs_v1 null.
     cases:
         Explicit case list overriding :func:`default_cases`.
     progress:
         Optional callback invoked with each finished case record.
+
+    Every measured implementation is asserted to agree with the v2 engine
+    on feasibility and value before any timing is recorded.
     """
     repeats = DEFAULT_REPEATS if repeats is None else repeats
     warmup = DEFAULT_WARMUP if warmup is None else warmup
@@ -204,16 +246,21 @@ def run_bench(
         engine_timing = time_callable(
             lambda: _engine_solve(case, instance), repeats, warmup
         )
+        v1_timing = None
+        speedup_vs_v1 = None
+        if compare_v1:
+            v1_feasible, v1_value, _v1_stats = _engine_solve(case, instance, engine="v1")
+            _assert_agreement(case, "engine v1", feasible, value, (v1_feasible, v1_value))
+            v1_timing = time_callable(
+                lambda: _engine_solve(case, instance, engine="v1"), repeats, warmup
+            )
+            speedup_vs_v1 = v1_timing["median"] / max(engine_timing["median"], 1e-12)
         baseline_timing = None
         speedup = None
-        if baseline:
-            base_feasible, base_value = _baseline_solve(case, instance)
-            if base_feasible != feasible or not _values_agree(value, base_value):
-                raise AssertionError(
-                    f"bench case {case.name}: engine value {value!r} (feasible="
-                    f"{feasible}) disagrees with seed baseline {base_value!r} "
-                    f"(feasible={base_feasible})"
-                )
+        if baseline and case.seed_baseline:
+            _assert_agreement(
+                case, "seed baseline", feasible, value, _baseline_solve(case, instance)
+            )
             baseline_timing = time_callable(
                 lambda: _baseline_solve(case, instance), repeats, warmup
             )
@@ -227,8 +274,10 @@ def run_bench(
             "alpha": case.alpha,
             "value": None if value is None else float(value),
             "engine": engine_timing,
+            "engine_v1": v1_timing,
             "baseline": baseline_timing,
             "speedup": speedup,
+            "speedup_vs_v1": speedup_vs_v1,
             "engine_stats": stats,
         }
         records.append(record)

@@ -4,12 +4,13 @@ The report is a machine-readable artifact: CI uploads it on every push and
 fails the build when its shape drifts, so downstream tooling (trend plots,
 regression gates) can rely on the keys below.  ``validate_report`` is
 deliberately strict in both directions — missing *and* unexpected keys are
-schema drift.
+schema drift.  :func:`compare_reports` is the regression gate CI runs
+against the committed report.
 
 Top-level keys::
 
     schema        the literal schema id (BENCH_SCHEMA)
-    engine        {"name", "version"} of the measured engine
+    engine        {"name", "version"} of the measured (v2) engine
     quick         whether this was the reduced CI smoke matrix
     seed          master instance-generator seed
     repeats       timed repetitions per solver per case
@@ -26,21 +27,28 @@ Per-case keys::
     num_processors  p
     alpha           wake-up cost (null for the gap objective)
     value           optimal objective value (null when infeasible)
-    engine          timing block for the engine-backed solver
+    engine          timing block for the v2 (bottom-up) engine
+    engine_v1       timing block for the v1 (trampoline) engine (null if skipped)
     baseline        timing block for the frozen seed solver (null if skipped)
-    speedup         baseline median / engine median (null if skipped)
-    engine_stats    pruning/memo counters of one engine run
+    speedup         baseline median / engine median (null if baseline skipped)
+    speedup_vs_v1   engine_v1 median / engine median (null if v1 skipped)
+    engine_stats    pruning/memo counters of one v2 engine run
 
 Timing blocks::
 
     {"best": s, "median": s, "mean": s, "runs": [s, ...]}
+
+Schema history: ``bench-dp/v1`` (PR 3) measured the trampoline engine
+against the frozen seed solvers only; ``bench-dp/v2`` measures the
+bottom-up engine and adds the ``engine_v1`` / ``speedup_vs_v1`` comparison
+columns while keeping the seed-baseline column, so the committed report
+carries the full seed -> v1 -> v2 trajectory.
 """
 
 from __future__ import annotations
 
 import json
 import platform
-import sys
 from typing import Any, Dict, List
 
 __all__ = [
@@ -51,9 +59,21 @@ __all__ = [
     "validate_report_file",
     "write_report",
     "load_report",
+    "compare_reports",
+    "DEFAULT_REGRESSION_THRESHOLD",
+    "DEFAULT_REGRESSION_MIN_MEDIAN",
 ]
 
-BENCH_SCHEMA = "repro.perf/bench-dp/v1"
+BENCH_SCHEMA = "repro.perf/bench-dp/v2"
+
+#: A case regresses when its fresh engine median exceeds the committed
+#: median by more than this factor.
+DEFAULT_REGRESSION_THRESHOLD = 1.25
+
+#: Cases whose committed engine median is below this many seconds are
+#: excluded from the regression gate: micro-cases are dominated by timer
+#: and allocator noise, and a ratio gate on them would be flaky.
+DEFAULT_REGRESSION_MIN_MEDIAN = 0.005
 
 _TOP_KEYS = {
     "schema",
@@ -74,8 +94,10 @@ _CASE_KEYS = {
     "alpha",
     "value",
     "engine",
+    "engine_v1",
     "baseline",
     "speedup",
+    "speedup_vs_v1",
     "engine_stats",
 }
 _TIMING_KEYS = {"best", "median", "mean", "runs"}
@@ -117,6 +139,22 @@ def _check_timing(name: str, block: Any) -> None:
     for value in runs:
         if not isinstance(value, (int, float)) or value < 0:
             raise BenchSchemaError(f"{name}.runs: entries must be non-negative numbers")
+
+
+def _check_optional_comparison(
+    label: str, case: Dict, timing_key: str, ratio_key: str
+) -> None:
+    """A nullable timing block paired with a ratio that must match its presence."""
+    if case[timing_key] is not None:
+        _check_timing(f"{label}.{timing_key}", case[timing_key])
+        if not isinstance(case[ratio_key], (int, float)):
+            raise BenchSchemaError(
+                f"{label}.{ratio_key}: must be a number when {timing_key} is present"
+            )
+    elif case[ratio_key] is not None:
+        raise BenchSchemaError(
+            f"{label}.{ratio_key}: must be null without {timing_key}"
+        )
 
 
 def validate_report(data: Any) -> None:
@@ -167,14 +205,8 @@ def validate_report(data: Any) -> None:
         if case["value"] is not None and not isinstance(case["value"], (int, float)):
             raise BenchSchemaError(f"{label}.value: must be a number or null")
         _check_timing(f"{label}.engine", case["engine"])
-        if case["baseline"] is not None:
-            _check_timing(f"{label}.baseline", case["baseline"])
-            if not isinstance(case["speedup"], (int, float)):
-                raise BenchSchemaError(
-                    f"{label}.speedup: must be a number when baseline is present"
-                )
-        elif case["speedup"] is not None:
-            raise BenchSchemaError(f"{label}.speedup: must be null without a baseline")
+        _check_optional_comparison(label, case, "baseline", "speedup")
+        _check_optional_comparison(label, case, "engine_v1", "speedup_vs_v1")
         if not isinstance(case["engine_stats"], dict):
             raise BenchSchemaError(f"{label}.engine_stats: must be an object")
         for key, value in case["engine_stats"].items():
@@ -203,3 +235,85 @@ def validate_report_file(path: str) -> Dict:
     data = load_report(path)
     validate_report(data)
     return data
+
+
+def compare_reports(
+    fresh: Dict,
+    committed: Dict,
+    threshold: float = DEFAULT_REGRESSION_THRESHOLD,
+    min_median: float = DEFAULT_REGRESSION_MIN_MEDIAN,
+) -> Dict[str, List]:
+    """Gate a fresh report against a committed one.
+
+    Cases are matched by name.  When both reports carry the v1-comparison
+    column, a case is gated on its v2-over-v1 speedup — the v1 engine is
+    frozen code timed in the *same* run, so v2's advantage over it is a
+    machine-independent measure and survives CI runners slower or faster
+    than the machine that produced the committed report.  The speedup is
+    computed from each side's **best** run rather than the median:
+    best-of-N is the standard interference-robust estimator, and a ratio
+    of medians on few-repeat ~10 ms cases would flap with scheduler noise.
+    A case without the v1 column on either side falls back to the absolute
+    engine-median ratio.  Either way, a case **regresses** when its ratio
+    (committed speedup / fresh speedup, or fresh median / committed
+    median) exceeds ``threshold``.
+
+    Cases whose committed engine median is under ``min_median`` seconds
+    are reported as ``skipped`` (too noisy to gate), and names present in
+    only one report as ``unmatched``.
+
+    Returns ``{"regressions": [...], "compared": [...], "skipped": [...],
+    "unmatched": [...]}`` where each regression entry is ``{"name",
+    "metric", "fresh_value", "committed_value", "ratio"}`` with ``metric``
+    one of ``"speedup_vs_v1"`` / ``"engine_median"``.
+    """
+    if threshold <= 0:
+        raise ValueError(f"threshold must be positive, got {threshold}")
+    committed_by_name = {case["name"]: case for case in committed["cases"]}
+    regressions: List[Dict] = []
+    compared: List[str] = []
+    skipped: List[str] = []
+    unmatched: List[str] = []
+    fresh_names = set()
+    for case in fresh["cases"]:
+        name = case["name"]
+        fresh_names.add(name)
+        reference = committed_by_name.get(name)
+        if reference is None:
+            unmatched.append(name)
+            continue
+        if reference["engine"]["median"] < min_median:
+            skipped.append(name)
+            continue
+        compared.append(name)
+        fresh_v1 = case["engine_v1"]
+        committed_v1 = reference["engine_v1"]
+        if fresh_v1 is not None and committed_v1 is not None:
+            metric = "speedup_vs_v1"
+            fresh_value = fresh_v1["best"] / max(case["engine"]["best"], 1e-12)
+            committed_value = committed_v1["best"] / max(
+                reference["engine"]["best"], 1e-12
+            )
+            ratio = committed_value / max(fresh_value, 1e-12)
+        else:
+            metric = "engine_median"
+            fresh_value = case["engine"]["median"]
+            committed_value = reference["engine"]["median"]
+            ratio = fresh_value / committed_value
+        if ratio > threshold:
+            regressions.append(
+                {
+                    "name": name,
+                    "metric": metric,
+                    "fresh_value": fresh_value,
+                    "committed_value": committed_value,
+                    "ratio": ratio,
+                }
+            )
+    unmatched.extend(sorted(set(committed_by_name) - fresh_names))
+    return {
+        "regressions": regressions,
+        "compared": compared,
+        "skipped": skipped,
+        "unmatched": unmatched,
+    }

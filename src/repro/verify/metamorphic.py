@@ -35,6 +35,7 @@ from typing import Callable, Dict, List, Optional
 from ..api.problem import Problem
 from ..api.registry import solve
 from ..api.result import SolveResult
+from ..api.solvers import solve_cache_bypass
 from ..core.jobs import (
     Job,
     MultiIntervalInstance,
@@ -316,7 +317,12 @@ def check_relation(
     if solver is None:
         return []
     base = base_result if base_result is not None else solve(problem, solver=solver)
-    after = solve(transformed, solver=solver)
+    # The transformed solve bypasses the canonical cache: shift/permutation
+    # transforms are exactly the isomorphisms the cache collapses, and a
+    # cache hit would turn the relation into a test of the cache's own
+    # remapping instead of the solver under test.
+    with solve_cache_bypass():
+        after = solve(transformed, solver=solver)
     return _compare(relation, direction, base, after)
 
 

@@ -16,9 +16,12 @@ from repro.core.exceptions import InvalidInstanceError
 from repro.core.interval_dp import (
     ENGINE_NAME,
     ENGINE_VERSION,
+    TRAMPOLINE_ENGINE_VERSION,
     GapObjective,
     IntervalDPEngine,
     PowerObjective,
+    TrampolineDPEngine,
+    build_engine,
     staircase_schedule,
 )
 from repro.core.multiproc_gap_dp import MultiprocessorGapSolver, solve_multiprocessor_gap
@@ -69,6 +72,24 @@ class TestEngineOutcome:
         stats = meta["stats"]
         assert stats["states_computed"] > 0
         assert all(isinstance(v, int) for v in stats.values())
+
+    def test_trampoline_metadata_reports_v1(self):
+        instance = MultiprocessorInstance.from_pairs([(0, 3), (2, 5)], num_processors=2)
+        engine = TrampolineDPEngine(IntervalDecomposition(instance), GapObjective(2))
+        engine.solve()
+        meta = engine.metadata()
+        assert meta["name"] == ENGINE_NAME
+        assert meta["version"] == TRAMPOLINE_ENGINE_VERSION
+
+    def test_build_engine_selectors(self):
+        instance = MultiprocessorInstance.from_pairs([(0, 3)], num_processors=1)
+        decomp = IntervalDecomposition(instance)
+        assert isinstance(build_engine(decomp, GapObjective(1), "v2"), IntervalDPEngine)
+        assert isinstance(
+            build_engine(decomp, GapObjective(1), "v1"), TrampolineDPEngine
+        )
+        with pytest.raises(ValueError):
+            build_engine(decomp, GapObjective(1), "v3")
 
     def test_power_objective_rejects_negative_alpha(self):
         with pytest.raises(InvalidInstanceError):
@@ -238,3 +259,73 @@ class TestMemoReuse:
         second = solver.solve()
         assert first.power == second.power
         assert solver.engine.stats.states_computed == computed
+
+
+class TestEngineV1VsV2:
+    """Differential guard: the bottom-up and trampoline evaluators agree."""
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_gap_engines_agree(self, seed):
+        rng = random.Random(7000 + seed)
+        n = rng.randint(1, 10)
+        p = rng.randint(1, 4)
+        pairs = random_window_pairs(rng, n, horizon=rng.randint(n, 14), max_window=6)
+        instance = MultiprocessorInstance.from_pairs(pairs, num_processors=p)
+        v1 = solve_multiprocessor_gap(instance, engine="v1")
+        v2 = solve_multiprocessor_gap(instance, engine="v2")
+        assert v1.feasible == v2.feasible
+        if v2.feasible:
+            assert v1.num_gaps == v2.num_gaps
+            v2.require_schedule().validate()
+            assert v2.require_schedule().num_gaps() == v2.num_gaps
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_power_engines_agree(self, seed):
+        rng = random.Random(8000 + seed)
+        n = rng.randint(1, 9)
+        p = rng.randint(1, 4)
+        alpha = rng.choice([0.0, 0.5, 1.5, 3.0])
+        pairs = random_window_pairs(rng, n, horizon=rng.randint(n, 13), max_window=6)
+        instance = MultiprocessorInstance.from_pairs(pairs, num_processors=p)
+        v1 = solve_multiprocessor_power(instance, alpha=alpha, engine="v1")
+        v2 = solve_multiprocessor_power(instance, alpha=alpha, engine="v2")
+        assert v1.feasible == v2.feasible
+        if v2.feasible:
+            assert v2.power == pytest.approx(v1.power)
+            v2.require_schedule().validate()
+            assert v2.require_schedule().power_cost(alpha) == pytest.approx(v2.power)
+
+
+class TestPeakDepthReporting:
+    """Satellite regression: leaf/Hall-pruned-only runs must not report 0."""
+
+    #: Five jobs forced into a two-column window: both engines prune the
+    #: root via the Hall condition without expanding any branch state.
+    HALL_PRUNED = [(5, 6)] * 5 + [(0, 20)]
+
+    @pytest.mark.parametrize("engine", ["v1", "v2"])
+    def test_hall_pruned_run_reports_positive_depth(self, engine):
+        instance = MultiprocessorInstance.from_pairs(self.HALL_PRUNED, num_processors=1)
+        solver = MultiprocessorGapSolver(instance, engine=engine)
+        solution = solver.solve()
+        assert not solution.feasible
+        stats = solver.engine.stats
+        assert stats.hall_pruned > 0
+        assert stats.states_computed > 0
+        assert stats.peak_stack_depth >= 1
+
+    @pytest.mark.parametrize("engine", ["v1", "v2"])
+    def test_single_column_run_reports_positive_depth(self, engine):
+        instance = MultiprocessorInstance.from_pairs([(4, 4), (4, 4)], num_processors=2)
+        solver = MultiprocessorGapSolver(instance, engine=engine)
+        assert solver.solve().feasible
+        assert solver.engine.stats.peak_stack_depth >= 1
+
+    def test_v2_depth_tracks_the_dependency_chain(self):
+        pairs = [(2 * i, 2 * i + 6) for i in range(60)]
+        instance = MultiprocessorInstance.from_pairs(pairs, num_processors=1)
+        solver = MultiprocessorGapSolver(instance, engine="v2")
+        solver.solve()
+        # The node DAG of the sparse staircase nests dozens of levels deep;
+        # the bottom-up pass reports the longest dependency chain.
+        assert solver.engine.stats.peak_stack_depth >= 30
