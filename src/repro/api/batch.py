@@ -1,44 +1,39 @@
-"""Batch execution: fan a list of problems over a process pool.
+"""Batch execution: the list-shaped compatibility wrapper over the stream.
 
-``solve_batch(problems, workers=N)`` is the throughput path of the façade:
-generators produce a list of :class:`~repro.api.problem.Problem` objects,
-the pool solves them in parallel, and results come back **in input order**
-regardless of which worker finished first (``Pool.map`` preserves
-ordering).  Because every solver is deterministic and wall time is excluded
-from the canonical JSON form, a parallel run serializes byte-identically
-to a serial run of the same workload.
+``solve_batch(problems, workers=N)`` predates the :mod:`repro.runtime`
+layer; it is now a thin façade over
+:func:`repro.runtime.solve_stream` that collects a deterministic-order
+stream into a list.  Everything the stream provides applies here:
 
-Two layers de-duplicate repeated work in batch traffic:
-
-* **Exact duplicates** are collapsed here before dispatch: identical
-  ``(problem, solver)`` pairs are solved once and independent copies of the
-  :class:`~repro.api.result.SolveResult` are fanned back out to the
-  duplicate positions (disable with ``dedupe=False``).  This works in
-  serial and pool mode alike.
-* **Isomorphic duplicates** (time-shifted or job-permuted instances) are
-  caught one level down by the canonical solve cache in
-  :mod:`repro.api.solvers`, which remaps the cached optimal schedule onto
-  the new instance.  That cache is per-process, so serial batches benefit
-  across the whole workload while pool workers each warm their own.
+* **Ordering and determinism.**  Results come back in input order
+  regardless of which worker finished first, and because every solver is
+  deterministic and wall time is excluded from the canonical JSON form, a
+  parallel run serializes byte-identically to a serial run of the same
+  workload.
+* **Backends.**  ``workers`` keeps its historical meaning (``None``/``0``/
+  ``1`` serial, ``N > 1`` a process pool), but the execution strategy is
+  now pluggable: pass ``backend="thread"`` (or any registered backend
+  name / instance), call :func:`repro.runtime.configure_backend`, or set
+  ``REPRO_BACKEND`` to move the same workload onto a different pool.
+* **Dedupe.**  Canonically identical tasks — exact duplicates *and*
+  time-shift/job-permutation isomorphs — are solved once per stream
+  window; duplicate positions receive independent copies (disable with
+  ``dedupe=False``).
+* **Error capture.**  A crashing task yields a ``status="error"`` result
+  at its position (exception type, message, traceback in ``extra``)
+  instead of poisoning the whole batch; pass ``on_error="raise"`` for the
+  old fail-fast behavior.
 """
 
 from __future__ import annotations
 
-import copy
-import multiprocessing
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional
 
+from ..runtime.stream import solve_stream
 from .problem import Problem
-from .registry import solve
 from .result import SolveResult
 
 __all__ = ["solve_batch"]
-
-
-def _solve_task(task: Tuple[Problem, str]) -> SolveResult:
-    # Module-level so the pool can pickle it (fork and spawn alike).
-    problem, solver = task
-    return solve(problem, solver=solver)
 
 
 def solve_batch(
@@ -47,57 +42,53 @@ def solve_batch(
     workers: Optional[int] = None,
     chunksize: int = 1,
     dedupe: bool = True,
+    backend: Optional[object] = None,
+    on_error: str = "result",
 ) -> List[SolveResult]:
     """Solve many problems, optionally in parallel, with deterministic ordering.
 
     Parameters
     ----------
     problems:
-        The problems to solve; consumed eagerly.
+        The problems to solve.
     solver:
         Passed through to :func:`repro.api.solve` for every problem
         (``"auto"`` or a registry name).
     workers:
-        ``None``, ``0`` or ``1`` solve serially in this process; ``N > 1``
-        use a ``multiprocessing`` pool of ``N`` workers.
+        Pool size.  With no backend selected anywhere, ``None``, ``0`` or
+        ``1`` solve serially in this process and ``N > 1`` use a process
+        pool of ``N`` workers — the historical behavior.
     chunksize:
-        Pool chunk size; larger values amortize IPC for big batches of
-        tiny problems.
+        Tasks per worker round-trip on pooled backends; larger values
+        amortize IPC for big batches of tiny problems.
     dedupe:
-        Collapse identical ``(problem, solver)`` tasks before dispatch.
-        Each duplicate position receives an independent deep copy of the
-        single underlying result (so in-place post-processing of one
-        position never leaks into another); copying a result is orders of
-        magnitude cheaper than re-solving it.
+        Collapse canonically identical tasks to one solve per stream
+        window; each duplicate position receives an independent result
+        (a deep copy, or a cache replay remapped onto its own instance),
+        so in-place post-processing of one position never leaks into
+        another.
+    backend:
+        Execution backend name or instance; ``None`` defers to
+        :func:`repro.runtime.configure_backend` / ``REPRO_BACKEND`` /
+        the workers rule above.
+    on_error:
+        ``"result"`` (default) turns a crashed task into a
+        ``status="error"`` result at its position; ``"raise"`` re-raises
+        the first failure.
 
     Returns
     -------
     One :class:`~repro.api.result.SolveResult` per problem, in input order.
     """
-    task_list: Sequence[Tuple[Problem, str]] = [(p, solver) for p in problems]
-    if dedupe and len(task_list) > 1:
-        unique_tasks: List[Tuple[Problem, str]] = []
-        mapping: List[int] = []
-        index_of: Dict[Tuple[Problem, str], int] = {}
-        for task in task_list:
-            index = index_of.setdefault(task, len(unique_tasks))
-            if index == len(unique_tasks):
-                unique_tasks.append(task)
-            mapping.append(index)
-    else:
-        unique_tasks = list(task_list)
-        mapping = list(range(len(task_list)))
-    if workers is None or workers <= 1 or len(unique_tasks) <= 1:
-        results = [_solve_task(task) for task in unique_tasks]
-    else:
-        with multiprocessing.Pool(processes=workers) as pool:
-            results = pool.map(_solve_task, unique_tasks, chunksize=chunksize)
-    seen_indices = set()
-    fanned: List[SolveResult] = []
-    for index in mapping:
-        if index in seen_indices:
-            fanned.append(copy.deepcopy(results[index]))
-        else:
-            seen_indices.add(index)
-            fanned.append(results[index])
-    return fanned
+    return list(
+        solve_stream(
+            problems,
+            solver=solver,
+            backend=backend,
+            workers=workers,
+            chunksize=chunksize,
+            ordered=True,
+            dedupe=dedupe,
+            on_error=on_error,
+        )
+    )

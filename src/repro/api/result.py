@@ -16,13 +16,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Union
 
-from ..core.exceptions import InfeasibleInstanceError
+from ..core.exceptions import InfeasibleInstanceError, SolverError
 from ..core.schedule import MultiprocessorSchedule, Schedule
 
 __all__ = ["STATUSES", "SolveResult"]
 
 #: Allowed values of :attr:`SolveResult.status`.
-STATUSES = ("optimal", "approximate", "infeasible")
+STATUSES = ("optimal", "approximate", "infeasible", "error")
 
 ScheduleLike = Union[Schedule, MultiprocessorSchedule]
 
@@ -36,7 +36,11 @@ class SolveResult:
     status:
         ``"optimal"`` when the value is exactly optimal, ``"approximate"``
         for approximation algorithms and heuristic baselines,
-        ``"infeasible"`` when the instance admits no feasible schedule.
+        ``"infeasible"`` when the instance admits no feasible schedule,
+        ``"error"`` when the solve itself failed — the batch pipeline
+        captures a crashed task as an error result at its position
+        (exception type, message and traceback under ``extra``) instead
+        of poisoning the whole batch.
     objective:
         The problem objective (``gaps`` / ``power`` / ``throughput``).
     value:
@@ -74,18 +78,18 @@ class SolveResult:
             raise ValueError(
                 f"unknown status {self.status!r}; expected one of {STATUSES}"
             )
-        if self.status == "infeasible" and (
+        if self.status in ("infeasible", "error") and (
             self.value is not None or self.schedule is not None
         ):
             raise ValueError(
-                "infeasible results must carry value=None and schedule=None; "
+                f"{self.status} results must carry value=None and schedule=None; "
                 f"got value={self.value!r}, schedule={type(self.schedule).__name__}"
             )
 
     @property
     def feasible(self) -> bool:
-        """True unless the instance admits no feasible schedule."""
-        return self.status != "infeasible"
+        """True when the result carries an answer (not infeasible, not an error)."""
+        return self.status not in ("infeasible", "error")
 
     def require_schedule(self) -> ScheduleLike:
         """Return the schedule, raising :class:`InfeasibleInstanceError` if absent."""
@@ -94,14 +98,21 @@ class SolveResult:
         return self.schedule
 
     def raise_for_status(self) -> "SolveResult":
-        """Raise :class:`InfeasibleInstanceError` on infeasible results, else return self.
+        """Raise on non-answers (infeasible or error results), else return self.
 
         This is the uniform exception path of the façade: callers that prefer
         exceptions over status inspection chain
         ``solve(problem).raise_for_status()`` (or pass
         ``on_infeasible="raise"`` to :func:`repro.api.solve`) and get the same
-        error type regardless of which solver ran.
+        error type regardless of which solver ran.  Captured batch failures
+        (``status="error"``) re-raise as :class:`SolverError` carrying the
+        original exception type and message.
         """
+        if self.status == "error":
+            raise SolverError(
+                f"solve failed with {self.extra.get('error_type', 'Exception')}: "
+                f"{self.extra.get('error', '')}"
+            )
         if not self.feasible:
             raise InfeasibleInstanceError(
                 f"instance admits no feasible schedule "

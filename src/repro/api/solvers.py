@@ -25,6 +25,7 @@ dispatch never prefers an exponential enumeration over the polynomial DPs.
 from __future__ import annotations
 
 import math
+import threading
 from contextlib import contextmanager
 from typing import Dict, List, Optional, Tuple
 
@@ -59,6 +60,7 @@ from ..core.online import online_gap_schedule
 from ..core.power_approx import approximate_power_schedule
 from ..core.schedule import Schedule
 from ..core.throughput import greedy_throughput_schedule
+from ..runtime.diskcache import get_disk_cache
 from .problem import Problem
 from .registry import register_solver
 from .result import SolveResult
@@ -66,7 +68,9 @@ from .result import SolveResult
 __all__: List[str] = [
     "clear_solve_cache",
     "configure_solve_cache",
+    "seed_solve_cache",
     "solve_cache_bypass",
+    "solve_cache_contains",
     "solve_cache_stats",
 ]
 
@@ -79,24 +83,60 @@ DEFAULT_SOLVE_CACHE_SIZE = 256
 #: Bounded LRU keyed by (objective, parameters, canonical instance key).
 #: Shared by the exact gap-dp / power-dp adapters so repeated or
 #: shift/permutation-isomorphic instances — the common shape of
-#: ``solve_batch`` traffic — skip the DP entirely.  Per-process state: pool
-#: workers each warm their own copy.
+#: ``solve_batch`` traffic — skip the DP entirely.  Per-process state
+#: (lock-protected, so the thread backend's workers share it safely):
+#: pool workers each warm their own copy.  When a disk tier is configured
+#: (:func:`repro.runtime.configure_disk_cache`), a memory miss falls
+#: through to the content-addressed store and a fresh solve populates
+#: both tiers, so warm entries survive the process and are shared across
+#: pool workers through the filesystem.
 _SOLVE_CACHE = CanonicalSolveCache(maxsize=DEFAULT_SOLVE_CACHE_SIZE)
+
+#: Count of solves that actually ran a DP (neither tier answered).  The
+#: cross-backend equivalence suite asserts this stays zero on a warm disk
+#: cache; lock-protected for the thread backend.
+_FRESH_SOLVES = 0
+_FRESH_LOCK = threading.Lock()
 
 
 def configure_solve_cache(maxsize: int) -> None:
-    """Resize the canonical solve cache; ``maxsize <= 0`` disables it."""
+    """Resize the in-memory canonical solve cache; ``maxsize <= 0`` disables it."""
     _SOLVE_CACHE.configure(maxsize)
 
 
 def clear_solve_cache() -> None:
-    """Drop every cached solve and reset the hit/miss counters."""
+    """Drop every in-memory cached solve and reset every counter.
+
+    The disk tier's files are untouched (use
+    :meth:`repro.runtime.DiskSolveCache.clear` or ``repro-sched cache
+    clear`` for that), but its per-process hit/miss/write counters reset.
+    """
+    global _FRESH_SOLVES
     _SOLVE_CACHE.clear()
+    with _FRESH_LOCK:
+        _FRESH_SOLVES = 0
+    disk = get_disk_cache()
+    if disk is not None:
+        disk.reset_counters()
 
 
-def solve_cache_stats() -> Dict[str, int]:
-    """Hit/miss/size counters of the canonical solve cache."""
-    return _SOLVE_CACHE.stats()
+def solve_cache_stats() -> Dict[str, object]:
+    """Counters of both cache tiers plus the fresh-DP-solve count.
+
+    The memory tier's ``size``/``maxsize``/``hits``/``misses`` keep their
+    historical meaning; ``fresh_solves`` counts solves neither tier could
+    answer, and ``disk`` holds the disk tier's per-process counters (or
+    ``{"configured": False}`` when no directory is configured).
+    """
+    stats: Dict[str, object] = dict(_SOLVE_CACHE.stats())
+    with _FRESH_LOCK:
+        stats["fresh_solves"] = _FRESH_SOLVES
+    disk = get_disk_cache()
+    if disk is None:
+        stats["disk"] = {"configured": False}
+    else:
+        stats["disk"] = {"configured": True, "path": disk.root, **disk.counters()}
+    return stats
 
 
 _BYPASS_DEPTH = 0
@@ -170,9 +210,12 @@ def _cached_exact_solve(
     :func:`_replay_engine_meta`): the same dict is returned in the result's
     ``extra``, and a caller mutating it must not poison later hits.
     """
+    global _FRESH_SOLVES
     form, cached = _lookup_canonical(objective_key, problem.instance)
     if cached is not None:
         return _replay_hit(problem, form, cached, extra_base)
+    with _FRESH_LOCK:
+        _FRESH_SOLVES += 1
     feasible, value, schedule, times, engine_meta = solve_fresh()
     if not feasible:
         _store_canonical(objective_key, form, False, None, None)
@@ -193,12 +236,24 @@ def _cached_exact_solve(
 def _lookup_canonical(
     objective_key: Tuple, instance
 ) -> Tuple[Optional[CanonicalForm], Optional[Tuple]]:
-    # A disabled cache skips canonicalization entirely — disabled means no
-    # per-solve overhead, not just no hits.
-    if _BYPASS_DEPTH or _SOLVE_CACHE.maxsize <= 0:
+    # With both tiers off, skip canonicalization entirely — disabled means
+    # no per-solve overhead, not just no hits.
+    disk = get_disk_cache()
+    if _BYPASS_DEPTH or (_SOLVE_CACHE.maxsize <= 0 and disk is None):
         return None, None
     form = canonical_form(instance)
-    return form, _SOLVE_CACHE.get((objective_key, form.key))
+    cache_key = (objective_key, form.key)
+    entry = _SOLVE_CACHE.get(cache_key)
+    if entry is not None:
+        return form, entry
+    if disk is not None:
+        entry = disk.get(cache_key)
+        if entry is not None:
+            # Promote into the memory tier so the next isomorphic solve in
+            # this process never touches the filesystem.
+            _SOLVE_CACHE.put(cache_key, entry)
+            return form, entry
+    return form, None
 
 
 def _store_canonical(
@@ -212,9 +267,100 @@ def _store_canonical(
     if form is None:  # bypassed lookup — do not populate either
         return
     assignment = canonical_assignment(form, times) if times is not None else None
-    _SOLVE_CACHE.put(
-        (objective_key, form.key), (feasible, value, assignment, engine_meta)
+    entry = (feasible, value, assignment, engine_meta)
+    _SOLVE_CACHE.put((objective_key, form.key), entry)
+    disk = get_disk_cache()
+    if disk is not None:
+        disk.put((objective_key, form.key), entry)
+
+
+def _objective_key_for(problem: Problem) -> Optional[Tuple]:
+    """The adapter cache key for ``problem``, or ``None`` when uncacheable."""
+    if problem.objective == "gaps":
+        return ("gaps",)
+    if problem.objective == "power":
+        return ("power", problem.alpha)
+    return None
+
+
+def solve_cache_contains(problem: Problem) -> bool:
+    """True when some cache tier verifiably holds this problem's answer.
+
+    Counter-neutral (no hit/miss accounting, no LRU reordering).  The
+    stream pipeline uses this to decide whether replaying a duplicate in
+    the calling process is genuinely cheap: a positive answer means the
+    next :func:`repro.api.solve` of this problem is a cache replay, not a
+    DP run (modulo a concurrent eviction, which merely costs that one
+    solve).
+    """
+    if not isinstance(
+        problem.instance, (OneIntervalInstance, MultiprocessorInstance)
+    ):
+        return False
+    objective_key = _objective_key_for(problem)
+    if objective_key is None:
+        return False
+    disk = get_disk_cache()
+    if _BYPASS_DEPTH or (_SOLVE_CACHE.maxsize <= 0 and disk is None):
+        return False
+    cache_key = (objective_key, canonical_form(problem.instance).key)
+    if _SOLVE_CACHE.peek(cache_key) is not None:
+        return True
+    return disk is not None and disk.contains(cache_key)
+
+
+def seed_solve_cache(problem: Problem, result: SolveResult) -> bool:
+    """Populate the canonical cache from an already-computed result.
+
+    This is the hook :func:`repro.runtime.solve_stream` uses to finish
+    parked canonically-isomorphic duplicates without re-running the DP:
+    after the representative solve lands, its result is seeded here and
+    the duplicates replay through the cache (remapping the schedule onto
+    their own instances).  Returns ``True`` when an entry was stored.
+
+    Only results the exact gap/power adapters could themselves have
+    cached are eligible: an optimal or infeasible answer from ``gap-dp``
+    / ``power-dp`` on a canonicalizable instance, with caching enabled
+    and not bypassed.
+    """
+    if result.solver not in ("gap-dp", "power-dp"):
+        return False
+    if not isinstance(
+        problem.instance, (OneIntervalInstance, MultiprocessorInstance)
+    ):
+        return False
+    objective_key = _objective_key_for(problem)
+    if objective_key is None:
+        return False
+    disk = get_disk_cache()
+    if _BYPASS_DEPTH or (_SOLVE_CACHE.maxsize <= 0 and disk is None):
+        return False
+    form = canonical_form(problem.instance)
+    if _SOLVE_CACHE.peek((objective_key, form.key)) is not None:
+        # The representative's own solve already populated both tiers (the
+        # serial and thread backends share this process's cache); storing
+        # again would only burn a redundant disk write.
+        return True
+    if result.status == "infeasible":
+        _store_canonical(objective_key, form, False, None, None)
+        return True
+    if result.status != "optimal" or result.schedule is None:
+        return False
+    assignment = result.schedule.assignment
+    times = {
+        job: (slot[1] if isinstance(slot, tuple) else slot)
+        for job, slot in assignment.items()
+    }
+    engine_meta = result.extra.get("engine")
+    _store_canonical(
+        objective_key,
+        form,
+        True,
+        result.value,
+        times,
+        _replay_engine_meta(engine_meta if isinstance(engine_meta, dict) else None),
     )
+    return True
 
 
 def _infeasible(problem: Problem) -> SolveResult:

@@ -38,6 +38,15 @@ Sub-commands
     schema without re-running anything, and ``--compare PATH`` gates the
     fresh run against a committed report (exit 1 on a >1.25x median
     regression of any shared case above the noise floor).
+``cache``
+    Inspect (``cache stats``) or empty (``cache clear``) the on-disk tier
+    of the canonical solve cache.
+
+Two top-level flags configure the :mod:`repro.runtime` execution layer
+for whichever sub-command follows: ``--backend serial|thread|process``
+selects the execution backend (equivalently ``REPRO_BACKEND``), and
+``--cache-dir PATH`` enables the persistent solve-cache tier
+(equivalently ``REPRO_CACHE_DIR``).
 
 All solving goes through :mod:`repro.api`; this module never imports a
 solver implementation directly.
@@ -106,6 +115,19 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--version", action="version", version=f"%(prog)s {__version__}"
     )
+    from .runtime import available_backends
+
+    parser.add_argument(
+        "--backend",
+        choices=available_backends(),
+        help="execution backend for batch work in the sub-command "
+        "(default: REPRO_BACKEND, else serial)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        help="enable the persistent on-disk solve-cache tier rooted here "
+        "(default: REPRO_CACHE_DIR, else disabled)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     unified = sub.add_parser(
@@ -165,6 +187,13 @@ def build_parser() -> argparse.ArgumentParser:
         "which", nargs="?", default="all", help="experiment id (E1..E12) or 'all'"
     )
     experiment.add_argument("--scale", choices=["smoke", "paper"], default="smoke")
+
+    cache = sub.add_parser(
+        "cache", help="inspect or clear the on-disk solve-cache tier"
+    )
+    cache.add_argument(
+        "action", choices=["stats", "clear"], help="what to do with the cache"
+    )
 
     verify = sub.add_parser(
         "verify", help="differentially verify a JSON instance/problem"
@@ -340,6 +369,35 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+
+    from .runtime import configure_backend, configure_disk_cache, get_disk_cache
+
+    if args.backend is not None:
+        configure_backend(args.backend)
+    if args.cache_dir is not None:
+        try:
+            configure_disk_cache(args.cache_dir)
+        except OSError as exc:
+            parser.error(f"cannot use --cache-dir {args.cache_dir!r}: {exc}")
+
+    if args.command == "cache":
+        disk = get_disk_cache()
+        if disk is None:
+            parser.error(
+                "no cache directory configured; pass --cache-dir PATH (before "
+                "the sub-command) or set REPRO_CACHE_DIR"
+            )
+        if args.action == "clear":
+            removed = disk.clear()
+            print(f"removed {removed} entries from {disk.root}")
+            return 0
+        stats = disk.stats()
+        print(f"path:          {stats['path']}")
+        print(f"version:       {stats['version']}")
+        print(f"entries:       {stats['entries']}")
+        print(f"stale entries: {stats['stale_entries']}")
+        print(f"bytes:         {stats['bytes']}")
+        return 0
 
     if args.command == "solve":
         # Bad input files, malformed problems and unknown solver names must
@@ -587,6 +645,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             baseline=not args.no_baseline,
             compare_v1=not args.no_v1,
             progress=_print_case,
+            # Deliberately only the explicit flag: a REPRO_BACKEND default
+            # must not silently parallelize (and distort) timed runs.
+            backend=args.backend,
         )
         write_report(report, out)
         print(f"report written to {out}")

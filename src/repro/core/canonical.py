@@ -43,6 +43,7 @@ canonical coordinates.
 from __future__ import annotations
 
 import hashlib
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Mapping, Tuple, Union
@@ -188,6 +189,11 @@ class CanonicalSolveCache:
     ``(feasible, value, canonical assignment)`` triples).  ``maxsize <= 0``
     disables the cache entirely — gets always miss and puts are dropped —
     so callers can turn caching off without branching.
+
+    Every operation (including the hit/miss accounting) holds one lock, so
+    the thread execution backend of :mod:`repro.runtime` can share a single
+    cache across workers with exact counters; uncontended acquisition is
+    cheap enough not to matter on the serial path.
     """
 
     def __init__(self, maxsize: int = 256) -> None:
@@ -195,52 +201,66 @@ class CanonicalSolveCache:
         self._entries: "OrderedDict" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self._lock = threading.RLock()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def get(self, key):
         """Return the cached value for ``key``, or ``None`` on a miss."""
-        if self.maxsize <= 0:
-            self.misses += 1
-            return None
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return entry
+        with self._lock:
+            if self.maxsize <= 0:
+                self.misses += 1
+                return None
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
+
+    def peek(self, key):
+        """Like :meth:`get` but counter- and LRU-neutral (cache introspection)."""
+        with self._lock:
+            if self.maxsize <= 0:
+                return None
+            return self._entries.get(key)
 
     def put(self, key, value) -> None:
         """Insert ``key -> value``, evicting least-recently-used overflow."""
-        if self.maxsize <= 0:
-            return
-        self._entries[key] = value
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
+        with self._lock:
+            if self.maxsize <= 0:
+                return
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
 
     def configure(self, maxsize: int) -> None:
         """Resize (and, when shrinking, trim) the cache; ``<= 0`` disables it."""
-        self.maxsize = int(maxsize)
-        if self.maxsize <= 0:
-            self._entries.clear()
-            return
-        while len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
+        with self._lock:
+            self.maxsize = int(maxsize)
+            if self.maxsize <= 0:
+                self._entries.clear()
+                return
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
 
     def clear(self) -> None:
         """Drop every entry and reset the hit/miss counters."""
-        self._entries.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
 
     def stats(self) -> Dict[str, int]:
         """JSON-native snapshot: size, capacity, hits, misses."""
-        return {
-            "size": len(self._entries),
-            "maxsize": self.maxsize,
-            "hits": self.hits,
-            "misses": self.misses,
-        }
+        with self._lock:
+            return {
+                "size": len(self._entries),
+                "maxsize": self.maxsize,
+                "hits": self.hits,
+                "misses": self.misses,
+            }

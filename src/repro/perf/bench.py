@@ -23,7 +23,7 @@ from __future__ import annotations
 import statistics
 import time
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..core.jobs import MultiprocessorInstance
 from ..core.multiproc_gap_dp import MultiprocessorGapSolver
@@ -199,6 +199,54 @@ def _assert_agreement(case: BenchCase, label: str, feasible, value, other) -> No
         )
 
 
+def _run_case(payload: Tuple) -> Dict:
+    """Measure one benchmark case end to end; returns its report record.
+
+    Module-level (with a picklable payload) so :func:`run_bench` can fan
+    cases out through any :mod:`repro.runtime` backend.
+    """
+    case, case_seed, repeats, warmup, baseline, compare_v1 = payload
+    instance = case.make_instance(case_seed)
+    feasible, value, stats = _engine_solve(case, instance)
+    engine_timing = time_callable(
+        lambda: _engine_solve(case, instance), repeats, warmup
+    )
+    v1_timing = None
+    speedup_vs_v1 = None
+    if compare_v1:
+        v1_feasible, v1_value, _v1_stats = _engine_solve(case, instance, engine="v1")
+        _assert_agreement(case, "engine v1", feasible, value, (v1_feasible, v1_value))
+        v1_timing = time_callable(
+            lambda: _engine_solve(case, instance, engine="v1"), repeats, warmup
+        )
+        speedup_vs_v1 = v1_timing["median"] / max(engine_timing["median"], 1e-12)
+    baseline_timing = None
+    speedup = None
+    if baseline and case.seed_baseline:
+        _assert_agreement(
+            case, "seed baseline", feasible, value, _baseline_solve(case, instance)
+        )
+        baseline_timing = time_callable(
+            lambda: _baseline_solve(case, instance), repeats, warmup
+        )
+        speedup = baseline_timing["median"] / max(engine_timing["median"], 1e-12)
+    return {
+        "name": case.name,
+        "objective": case.objective,
+        "family": case.family,
+        "num_jobs": instance.num_jobs,
+        "num_processors": case.num_processors,
+        "alpha": case.alpha,
+        "value": None if value is None else float(value),
+        "engine": engine_timing,
+        "engine_v1": v1_timing,
+        "baseline": baseline_timing,
+        "speedup": speedup,
+        "speedup_vs_v1": speedup_vs_v1,
+        "engine_stats": stats,
+    }
+
+
 def run_bench(
     quick: bool = False,
     repeats: Optional[int] = None,
@@ -208,6 +256,8 @@ def run_bench(
     compare_v1: bool = True,
     cases: Optional[List[BenchCase]] = None,
     progress: Optional[Callable[[Dict], None]] = None,
+    backend: Optional[object] = None,
+    workers: Optional[int] = None,
 ) -> Dict:
     """Run the benchmark matrix and return a schema-conformant report dict.
 
@@ -228,58 +278,38 @@ def run_bench(
     cases:
         Explicit case list overriding :func:`default_cases`.
     progress:
-        Optional callback invoked with each finished case record.
+        Optional callback invoked with each finished case record (in
+        matrix order on every backend).
+    backend / workers:
+        Execution backend for the case sweep.  Unlike the other harnesses
+        this deliberately ignores ``configure_backend``/``REPRO_BACKEND``
+        and stays strictly serial unless a backend is passed explicitly:
+        co-scheduled cases contend for cores and distort each other's
+        timings, so parallel runs are for quick value-agreement sweeps,
+        never for committed reports.
 
     Every measured implementation is asserted to agree with the v2 engine
-    on feasibility and value before any timing is recorded.
+    on feasibility and value before any timing is recorded; a case that
+    fails mid-sweep aborts the whole run (a benchmark with holes would
+    silently pass the regression gate).
     """
+    from ..runtime.stream import run_tasks
+
     repeats = DEFAULT_REPEATS if repeats is None else repeats
     warmup = DEFAULT_WARMUP if warmup is None else warmup
     if repeats < 1 or warmup < 0:
         raise ValueError("repeats must be >= 1 and warmup >= 0")
     case_list = default_cases(quick) if cases is None else cases
 
+    payloads = [
+        (case, seed + index, repeats, warmup, baseline, compare_v1)
+        for index, case in enumerate(case_list)
+    ]
     records: List[Dict] = []
-    for index, case in enumerate(case_list):
-        instance = case.make_instance(seed + index)
-        feasible, value, stats = _engine_solve(case, instance)
-        engine_timing = time_callable(
-            lambda: _engine_solve(case, instance), repeats, warmup
-        )
-        v1_timing = None
-        speedup_vs_v1 = None
-        if compare_v1:
-            v1_feasible, v1_value, _v1_stats = _engine_solve(case, instance, engine="v1")
-            _assert_agreement(case, "engine v1", feasible, value, (v1_feasible, v1_value))
-            v1_timing = time_callable(
-                lambda: _engine_solve(case, instance, engine="v1"), repeats, warmup
-            )
-            speedup_vs_v1 = v1_timing["median"] / max(engine_timing["median"], 1e-12)
-        baseline_timing = None
-        speedup = None
-        if baseline and case.seed_baseline:
-            _assert_agreement(
-                case, "seed baseline", feasible, value, _baseline_solve(case, instance)
-            )
-            baseline_timing = time_callable(
-                lambda: _baseline_solve(case, instance), repeats, warmup
-            )
-            speedup = baseline_timing["median"] / max(engine_timing["median"], 1e-12)
-        record = {
-            "name": case.name,
-            "objective": case.objective,
-            "family": case.family,
-            "num_jobs": instance.num_jobs,
-            "num_processors": case.num_processors,
-            "alpha": case.alpha,
-            "value": None if value is None else float(value),
-            "engine": engine_timing,
-            "engine_v1": v1_timing,
-            "baseline": baseline_timing,
-            "speedup": speedup,
-            "speedup_vs_v1": speedup_vs_v1,
-            "engine_stats": stats,
-        }
+    for _index, outcome in run_tasks(
+        _run_case, payloads, backend=backend or "serial", workers=workers
+    ):
+        record = outcome.unwrap()
         records.append(record)
         if progress is not None:
             progress(record)

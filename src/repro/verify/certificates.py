@@ -232,6 +232,15 @@ def certify_result(
     if result.guarantee_factor is not None and result.guarantee_factor < 1.0:
         issues.append(f"guarantee factor {result.guarantee_factor} < 1")
 
+    if result.status == "error":
+        # A captured batch failure is never a certifiable answer; surface
+        # the original exception instead of complaining about the envelope.
+        issues.append(
+            f"error result ({result.extra.get('error_type', 'Exception')}: "
+            f"{result.extra.get('error', '')}) certifies nothing"
+        )
+        return Certificate(ok=False, issues=issues)
+
     if result.status == "infeasible":
         if result.value is not None:
             issues.append(f"infeasible result carries value {result.value!r}")

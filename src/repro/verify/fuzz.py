@@ -11,6 +11,12 @@ even on a machine with a different default seed or generator mix.
 
 Everything is driven by one ``random.Random(seed)``; two runs with the same
 seed, count, and objectives generate byte-identical problem streams.
+Generation is sequential (it owns the RNG), but the differential and
+metamorphic evaluation of each case is independent and fans out through
+:func:`repro.runtime.run_tasks` — pass ``backend="process"`` (or set
+``REPRO_BACKEND`` / the CLI's top-level ``--backend``) to fuzz on every
+core; the report folds completions back in case order, so the outcome is
+backend-invariant.
 """
 
 from __future__ import annotations
@@ -279,6 +285,88 @@ def generate_problem(rng: random.Random, objective: str) -> Tuple[str, Problem]:
 # ---------------------------------------------------------------------------
 # the driver
 # ---------------------------------------------------------------------------
+@dataclass
+class _FuzzCasePayload:
+    """One generated case, ready to evaluate on any backend (picklable)."""
+
+    index: int
+    objective: str
+    generator: str
+    problem: Problem
+    meta_seed: int
+    metamorphic: bool
+
+
+@dataclass
+class _FuzzCaseOutcome:
+    """What one evaluated case reports back to the driver."""
+
+    diff: DifferentialReport
+    meta_issues: List[str]
+    meta_checked: bool
+
+
+def _evaluate_case(payload: _FuzzCasePayload) -> _FuzzCaseOutcome:
+    """Worker-side case evaluation: differential run plus metamorphic checks.
+
+    Module-level so the process backend can ship cases to pool workers;
+    exceptions are captured per-case by the runtime and folded back into
+    ``kind="crash"`` failures by the driver.
+    """
+    diff = run_differential(payload.problem)
+    meta_issues: List[str] = []
+    meta_checked = False
+    if payload.metamorphic:
+        meta_issues = metamorphic_issues(payload.problem, diff, payload.meta_seed)
+        meta_checked = True
+    return _FuzzCaseOutcome(diff=diff, meta_issues=meta_issues, meta_checked=meta_checked)
+
+
+def _fold_case(
+    report: FuzzReport,
+    payload: _FuzzCasePayload,
+    outcome: _FuzzCaseOutcome,
+) -> None:
+    """Fold one evaluated case into the aggregate report (driver side)."""
+    diff = outcome.diff
+    report.num_solver_runs += len(diff.runs)
+    for run in diff.runs:
+        report.solver_counts[run.name] = report.solver_counts.get(run.name, 0) + 1
+    _accumulate_engine_stats(report, diff)
+    if (
+        diff.runs
+        and diff.runs[0].result is not None
+        and not diff.runs[0].result.feasible
+    ):
+        report.num_infeasible += 1
+    if not diff.ok:
+        report.failures.append(
+            FuzzFailure(
+                index=payload.index,
+                kind="differential",
+                objective=payload.objective,
+                generator=payload.generator,
+                issues=list(diff.issues),
+                problem=to_dict(payload.problem),
+                meta_seed=payload.meta_seed,
+            )
+        )
+    if outcome.meta_checked:
+        report.num_metamorphic_checks += 1
+        if outcome.meta_issues:
+            report.failures.append(
+                FuzzFailure(
+                    index=payload.index,
+                    kind="metamorphic",
+                    objective=payload.objective,
+                    generator=payload.generator,
+                    issues=outcome.meta_issues,
+                    problem=to_dict(payload.problem),
+                    meta_seed=payload.meta_seed,
+                )
+            )
+
+
 def fuzz(
     seed: int = 0,
     n: int = 100,
@@ -286,6 +374,8 @@ def fuzz(
     metamorphic: bool = True,
     corpus_path: Optional[str] = None,
     progress: Optional[Callable[[int, DifferentialReport], None]] = None,
+    backend: Optional[object] = None,
+    workers: Optional[int] = None,
 ) -> FuzzReport:
     """Run ``n`` differential fuzz cases, cycling through ``objectives``.
 
@@ -305,7 +395,14 @@ def fuzz(
         rewritten at the end (so a green run clears stale failures).
     progress:
         Optional callback ``(index, report)`` invoked after every case.
+    backend / workers:
+        Execution backend for case evaluation (see
+        :func:`repro.runtime.resolve_backend`); generation stays
+        sequential and the report is folded in case order, so every
+        backend produces the same report.
     """
+    from ..runtime.stream import run_tasks
+
     for objective in objectives:
         if objective not in OBJECTIVES:
             raise ValueError(
@@ -313,61 +410,28 @@ def fuzz(
             )
     rng = random.Random(seed)
     report = FuzzReport(seed=seed, n=n, objectives=tuple(objectives))
+
+    def flush() -> None:
+        if corpus_path is not None:
+            # Flush after every failing case so a killed run (CI timeout,
+            # OOM) still leaves the failures found so far on disk.
+            save_corpus(report.failures, corpus_path)
+
+    # Phase 1 — sequential generation (the RNG stream must not depend on
+    # evaluation order or backend).  A generator crash is itself a finding:
+    # it is recorded — and flushed to the corpus — the moment it happens,
+    # so even a run killed mid-evaluation keeps it.
+    payloads: List[_FuzzCasePayload] = []
     for index in range(n):
         objective = objectives[index % len(objectives)]
         report.num_problems += 1
-        failures_before = len(report.failures)
         generator, problem, meta_seed = "?", None, None
         try:
             generator, problem = generate_problem(rng, objective)
             # Draw the metamorphic seed unconditionally so the problem
             # stream is identical with and without metamorphic checking.
             meta_seed = rng.randrange(2**31)
-            diff = run_differential(problem)
-            report.num_solver_runs += len(diff.runs)
-            for run in diff.runs:
-                report.solver_counts[run.name] = (
-                    report.solver_counts.get(run.name, 0) + 1
-                )
-            _accumulate_engine_stats(report, diff)
-            if (
-                diff.runs
-                and diff.runs[0].result is not None
-                and not diff.runs[0].result.feasible
-            ):
-                report.num_infeasible += 1
-            if not diff.ok:
-                report.failures.append(
-                    FuzzFailure(
-                        index=index,
-                        kind="differential",
-                        objective=objective,
-                        generator=generator,
-                        issues=list(diff.issues),
-                        problem=to_dict(problem),
-                        meta_seed=meta_seed,
-                    )
-                )
-            if metamorphic:
-                meta_issues = metamorphic_issues(problem, diff, meta_seed)
-                report.num_metamorphic_checks += 1
-                if meta_issues:
-                    report.failures.append(
-                        FuzzFailure(
-                            index=index,
-                            kind="metamorphic",
-                            objective=objective,
-                            generator=generator,
-                            issues=meta_issues,
-                            problem=to_dict(problem),
-                            meta_seed=meta_seed,
-                        )
-                    )
         except Exception as exc:  # noqa: BLE001 — a crash *is* a finding
-            # Never lose the crashing instance: record it in the corpus and
-            # keep fuzzing the rest of the run.  When generation itself
-            # crashed there is no problem to serialize; the seed and index
-            # still pin the case down exactly.
             report.failures.append(
                 FuzzFailure(
                     index=index,
@@ -379,15 +443,51 @@ def fuzz(
                     meta_seed=meta_seed,
                 )
             )
-            if corpus_path is not None:
-                save_corpus(report.failures, corpus_path)
+            flush()
             continue
-        if corpus_path is not None and len(report.failures) > failures_before:
-            # Flush after every failing case so a killed run (CI timeout,
-            # OOM) still leaves the failures found so far on disk.
-            save_corpus(report.failures, corpus_path)
-        if progress is not None:
-            progress(index, diff)
+        payloads.append(
+            _FuzzCasePayload(
+                index=index,
+                objective=objective,
+                generator=generator,
+                problem=problem,
+                meta_seed=meta_seed,
+                metamorphic=metamorphic,
+            )
+        )
+
+    # Phase 2 — evaluation through the runtime, folded back in case order.
+    payload_iter = iter(payloads)
+    outcomes = run_tasks(
+        _evaluate_case, payloads, backend=backend, workers=workers, ordered=True
+    )
+    for _position, outcome in outcomes:
+        payload = next(payload_iter)
+        failures_before = len(report.failures)
+        if outcome.ok:
+            _fold_case(report, payload, outcome.value)
+        else:
+            # Never lose the crashing instance: record it in the corpus and
+            # keep fuzzing the rest of the run.
+            report.failures.append(
+                FuzzFailure(
+                    index=payload.index,
+                    kind="crash",
+                    objective=payload.objective,
+                    generator=payload.generator,
+                    issues=[f"unhandled {outcome.error_type}: {outcome.error}"],
+                    problem=to_dict(payload.problem),
+                    meta_seed=payload.meta_seed,
+                )
+            )
+        if len(report.failures) > failures_before:
+            flush()
+        if progress is not None and outcome.ok:
+            progress(payload.index, outcome.value.diff)
+    # Generation failures were recorded (and flushed) ahead of evaluation
+    # failures; restore the sequential driver's index order for the final
+    # report and corpus.
+    report.failures.sort(key=lambda failure: failure.index)
     if corpus_path is not None:
         # Always (re)write, so a green run clears a stale corpus from a
         # previous failing run of the same command.

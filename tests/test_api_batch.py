@@ -77,30 +77,59 @@ class TestSolveBatch:
 
 
 class TestErrorPaths:
-    """Satellite coverage: worker exception propagation and degenerate inputs."""
+    """Satellite coverage: per-task error capture and degenerate inputs."""
 
-    def test_unknown_solver_raises_serially(self):
-        from repro.core.exceptions import SolverError
-
+    def test_unknown_solver_yields_error_results_serially(self):
         problems = generated_workload(2)
-        with pytest.raises(SolverError):
-            solve_batch(problems, solver="no-such-solver")
+        results = solve_batch(problems, solver="no-such-solver")
+        assert [r.status for r in results] == ["error", "error"]
+        for result in results:
+            assert result.value is None and result.schedule is None
+            assert result.extra["error_type"] == "SolverError"
+            assert "no-such-solver" in result.extra["error"]
+            assert "Traceback" in result.extra["traceback"]
 
-    def test_worker_exception_propagates_from_pool(self):
+    def test_worker_exception_becomes_error_result_in_pool(self):
+        problems = generated_workload(4)
+        results = solve_batch(problems, solver="no-such-solver", workers=2)
+        assert len(results) == 4
+        assert all(r.status == "error" for r in results)
+        assert all("no-such-solver" in r.extra["error"] for r in results)
+
+    def test_incapable_solver_fails_per_task_not_per_batch(self):
+        # greedy-gap only accepts OneIntervalInstance; the workload mixes in
+        # multiprocessor and multi-interval problems.  Those tasks fail, the
+        # one-interval tasks still solve — one crashed worker task no longer
+        # poisons the batch.
+        problems = generated_workload(6)
+        results = solve_batch(problems, solver="greedy-gap", workers=2)
+        assert len(results) == 6
+        for problem, result in zip(problems, results):
+            if problem.objective == "gaps":  # the one-interval slice
+                assert result.status in ("optimal", "approximate")
+                assert result.solver == "greedy-gap"
+            else:
+                assert result.status == "error"
+                assert result.extra["error_type"] == "SolverError"
+
+    def test_on_error_raise_restores_fail_fast(self):
         from repro.core.exceptions import SolverError
 
         problems = generated_workload(4)
         with pytest.raises(SolverError):
-            solve_batch(problems, solver="no-such-solver", workers=2)
+            solve_batch(problems, solver="no-such-solver", on_error="raise")
+        with pytest.raises(SolverError):
+            solve_batch(
+                problems, solver="no-such-solver", workers=2, on_error="raise"
+            )
 
-    def test_incapable_solver_propagates_from_pool(self):
+    def test_error_results_raise_for_status(self):
         from repro.core.exceptions import SolverError
 
-        # greedy-gap only accepts OneIntervalInstance; the workload mixes in
-        # multiprocessor and multi-interval problems, so a worker must raise.
-        problems = generated_workload(6)
+        result = solve_batch(generated_workload(1), solver="no-such-solver")[0]
+        assert not result.feasible
         with pytest.raises(SolverError):
-            solve_batch(problems, solver="greedy-gap", workers=2)
+            result.raise_for_status()
 
     def test_empty_batch_with_many_workers(self):
         assert solve_batch([], workers=8) == []

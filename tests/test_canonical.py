@@ -211,7 +211,10 @@ class TestSolveCacheBehavior:
                 ),
             ),
         ]
-        results = solve_batch(problems)
+        # Pinned to the serial backend: these counters are per-process,
+        # so a REPRO_BACKEND=process test run would otherwise warm the
+        # pool workers' caches instead of this one.
+        results = solve_batch(problems, backend="serial")
         stats = solve_cache_stats()
         # One DP solve, two canonical hits: near-zero marginal cost for the
         # isomorphic tail of the batch.
@@ -224,7 +227,7 @@ class TestSolveCacheBehavior:
     def test_solve_batch_dedupes_identical_problems(self):
         instance = MultiprocessorInstance.from_pairs(PAIRS, num_processors=2)
         problems = [Problem(objective="gaps", instance=instance)] * 4
-        results = solve_batch(problems)
+        results = solve_batch(problems, backend="serial")
         assert results[0] == results[1] == results[2] == results[3]
         stats = solve_cache_stats()
         assert stats["misses"] == 1 and stats["hits"] == 0
@@ -237,7 +240,7 @@ class TestSolveCacheBehavior:
     def test_dedupe_can_be_disabled(self):
         instance = MultiprocessorInstance.from_pairs(PAIRS, num_processors=2)
         problems = [Problem(objective="gaps", instance=instance)] * 3
-        results = solve_batch(problems, dedupe=False)
+        results = solve_batch(problems, dedupe=False, backend="serial")
         assert results[0] == results[1] == results[2]
         stats = solve_cache_stats()
         assert stats["misses"] == 1 and stats["hits"] == 2
@@ -247,7 +250,10 @@ class TestSolveCacheBehavior:
         with solve_cache_bypass():
             solve(Problem(objective="gaps", instance=instance))
         stats = solve_cache_stats()
-        assert stats == {"size": 0, "maxsize": 256, "hits": 0, "misses": 0}
+        assert stats["size"] == 0 and stats["maxsize"] == 256
+        assert stats["hits"] == 0 and stats["misses"] == 0
+        # The DP itself still ran (bypass skips the cache, not the solve).
+        assert stats["fresh_solves"] == 1
         # Outside the context the cache resumes normal operation.
         solve(Problem(objective="gaps", instance=instance))
         assert solve_cache_stats()["misses"] == 1

@@ -238,3 +238,69 @@ class TestFuzzCommand:
         with pytest.raises(SystemExit) as excinfo:
             main(["fuzz", "--replay", str(tmp_path / "missing.json")])
         assert excinfo.value.code == 2
+
+
+class TestRuntimeFlags:
+    """Top-level --backend / --cache-dir flags and the cache sub-command."""
+
+    @pytest.fixture(autouse=True)
+    def reset_runtime(self):
+        from repro.runtime import configure_backend, configure_disk_cache
+
+        yield
+        configure_backend(None)
+        configure_disk_cache(None)
+
+    def test_backend_flag_configures_the_default(self):
+        from repro.runtime import configured_backend
+
+        code = main(["--backend", "thread", "solve-gap", "0,0", "2,2"])
+        assert code == 0
+        assert configured_backend() == "thread"
+
+    def test_unknown_backend_is_usage_error(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--backend", "quantum", "list-solvers"])
+        assert excinfo.value.code == 2
+
+    def test_cache_requires_a_directory(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["cache", "stats"])
+        assert excinfo.value.code == 2
+
+    def test_cache_stats_and_clear_round_trip(self, tmp_path, capsys):
+        from repro.api import clear_solve_cache
+
+        # Start the memory tier cold: a memory hit never reaches the disk
+        # tier, and earlier tests may have solved this same tiny instance.
+        clear_solve_cache()
+        cache_dir = str(tmp_path / "cache")
+        code = main(["--cache-dir", cache_dir, "solve-gap", "0,0", "2,2"])
+        assert code == 0
+        capsys.readouterr()
+        code = main(["--cache-dir", cache_dir, "cache", "stats"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "entries:       1" in out
+        code = main(["--cache-dir", cache_dir, "cache", "clear"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "removed 1 entries" in out
+        code = main(["--cache-dir", cache_dir, "cache", "stats"])
+        out = capsys.readouterr().out
+        assert "entries:       0" in out
+
+    def test_cache_dir_solves_hit_across_invocations(self, tmp_path, capsys):
+        from repro.api import clear_solve_cache
+        from repro.api.solvers import _SOLVE_CACHE
+
+        clear_solve_cache()
+        cache_dir = str(tmp_path / "cache")
+        code = main(["--cache-dir", cache_dir, "solve-gap", "0,0", "2,2", "3,3"])
+        first = capsys.readouterr().out
+        assert code == 0
+        _SOLVE_CACHE.clear()  # a new CLI process would start cold in memory
+        code = main(["--cache-dir", cache_dir, "solve-gap", "0,0", "2,2", "3,3"])
+        second = capsys.readouterr().out
+        assert code == 0
+        assert first == second  # the disk tier replayed the warm answer

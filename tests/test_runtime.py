@@ -1,0 +1,754 @@
+"""Tests for the ``repro.runtime`` execution layer.
+
+Covers the backend registry and selection chain, the generic ``run_tasks``
+primitive, the ``solve_stream`` pipeline (ordering, laziness, in-flight
+dedupe, error capture), the two-tier canonical solve cache (thread-safe
+accounting, disk replay, version invalidation), and the cross-backend
+equivalence acceptance suite.
+"""
+
+import copy
+import itertools
+import json
+import os
+
+import pytest
+
+from repro.api import Problem, SolveResult, from_json, solve, solve_batch, to_json
+from repro.api.solvers import seed_solve_cache, solve_cache_stats
+from repro.api import clear_solve_cache, configure_solve_cache
+from repro.core.exceptions import SolverError
+from repro.generators import (
+    random_multi_interval_instance,
+    random_multiprocessor_instance,
+    random_one_interval_instance,
+)
+from repro.runtime import (
+    Backend,
+    DiskSolveCache,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    available_backends,
+    configure_backend,
+    configure_disk_cache,
+    default_backend_name,
+    disk_cache_dir,
+    get_disk_cache,
+    register_backend,
+    resolve_backend,
+    run_tasks,
+    solve_stream,
+)
+from repro.runtime.diskcache import cache_key_digest
+
+
+@pytest.fixture(autouse=True)
+def clean_runtime_state(monkeypatch):
+    """Isolate every test from configured backends, env vars and caches."""
+    monkeypatch.delenv("REPRO_BACKEND", raising=False)
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+    configure_backend(None)
+    configure_disk_cache(None)
+    configure_solve_cache(256)
+    clear_solve_cache()
+    yield
+    configure_backend(None)
+    configure_disk_cache(None)
+    configure_solve_cache(256)
+    clear_solve_cache()
+
+
+def shifted_problem(shift, seed=7, objective="gaps", alpha=None):
+    """A gap/power problem whose instance is the seed instance time-shifted.
+
+    All shifts of one seed are canonically identical (isomorphic), so they
+    share a canonical digest and an optimal value.
+    """
+    base = random_one_interval_instance(num_jobs=5, horizon=14, max_window=4, seed=seed)
+    from repro.api import OneIntervalInstance
+
+    instance = OneIntervalInstance.from_pairs(
+        [(job.release + shift, job.deadline + shift) for job in base.jobs]
+    )
+    return Problem(objective=objective, instance=instance, alpha=alpha)
+
+
+def mixed_workload(count=18):
+    """Seeded mixed gap/power/throughput workload over all instance shapes."""
+    problems = []
+    for seed in range(count):
+        kind = seed % 3
+        if kind == 0:
+            instance = random_one_interval_instance(
+                num_jobs=5, horizon=15, max_window=4, seed=seed
+            )
+            problems.append(Problem(objective="gaps", instance=instance))
+        elif kind == 1:
+            instance = random_multiprocessor_instance(
+                num_jobs=5, num_processors=2, horizon=10, max_window=4, seed=seed
+            )
+            problems.append(
+                Problem(objective="power", instance=instance, alpha=1.0 + seed % 3)
+            )
+        else:
+            instance = random_multi_interval_instance(
+                num_jobs=4, horizon=12, intervals_per_job=2, interval_length=2, seed=seed
+            )
+            problems.append(
+                Problem(objective="throughput", instance=instance, max_gaps=1 + seed % 2)
+            )
+    return problems
+
+
+# ---------------------------------------------------------------------------
+# backends: registry and selection chain
+# ---------------------------------------------------------------------------
+class TestBackendSelection:
+    def test_builtins_registered(self):
+        assert {"serial", "thread", "process"} <= set(available_backends())
+
+    def test_resolve_by_name_and_instance(self):
+        assert isinstance(resolve_backend("thread"), ThreadBackend)
+        backend = SerialBackend()
+        assert resolve_backend(backend) is backend
+
+    def test_legacy_workers_rule(self):
+        assert isinstance(resolve_backend(None, workers=None), SerialBackend)
+        assert isinstance(resolve_backend(None, workers=1), SerialBackend)
+        assert isinstance(resolve_backend(None, workers=4), ProcessBackend)
+
+    def test_configured_default_beats_workers_rule(self):
+        configure_backend("thread")
+        assert default_backend_name() == "thread"
+        assert isinstance(resolve_backend(None, workers=4), ThreadBackend)
+
+    def test_env_var_beats_workers_rule(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "thread")
+        assert default_backend_name() == "thread"
+        assert isinstance(resolve_backend(None, workers=4), ThreadBackend)
+
+    def test_configure_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "process")
+        configure_backend("serial")
+        assert default_backend_name() == "serial"
+
+    def test_unknown_names_rejected(self, monkeypatch):
+        with pytest.raises(ValueError):
+            configure_backend("quantum")
+        with pytest.raises(ValueError):
+            resolve_backend("quantum")
+        monkeypatch.setenv("REPRO_BACKEND", "quantum")
+        with pytest.raises(ValueError):
+            default_backend_name()
+
+    def test_register_backend_validation(self):
+        with pytest.raises(ValueError):
+            register_backend("serial", SerialBackend)
+        with pytest.raises(TypeError):
+            register_backend("not-a-backend", object)
+
+    def test_explicit_argument_beats_configured_default(self):
+        configure_backend("process")
+        assert isinstance(resolve_backend("serial"), SerialBackend)
+
+
+# ---------------------------------------------------------------------------
+# run_tasks: the generic primitive
+# ---------------------------------------------------------------------------
+def _square(x):
+    return x * x
+
+
+def _fail_on_odd(x):
+    if x % 2:
+        raise ValueError(f"odd input {x}")
+    return x
+
+
+class TestRunTasks:
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_ordered_results_all_backends(self, backend):
+        items = list(range(12))
+        out = list(run_tasks(_square, items, backend=backend, workers=3))
+        assert [index for index, _ in out] == items
+        assert [o.value for _, o in out] == [x * x for x in items]
+        assert all(o.ok for _, o in out)
+
+    def test_unordered_covers_all_indices(self):
+        out = list(
+            run_tasks(_square, range(10), backend="thread", workers=4, ordered=False)
+        )
+        assert sorted(index for index, _ in out) == list(range(10))
+        assert all(o.value == i * i for i, o in out)
+
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_per_task_error_capture(self, backend):
+        out = list(run_tasks(_fail_on_odd, range(6), backend=backend, workers=2))
+        for index, outcome in out:
+            if index % 2:
+                assert not outcome.ok
+                assert outcome.error_type == "ValueError"
+                assert f"odd input {index}" in outcome.error
+                assert "Traceback" in outcome.traceback
+                with pytest.raises(RuntimeError):
+                    outcome.unwrap()
+            else:
+                assert outcome.ok and outcome.unwrap() == index
+
+    def test_lazy_bounded_consumption(self):
+        consumed = []
+
+        def producer():
+            for i in itertools.count():
+                consumed.append(i)
+                yield i
+
+        stream = run_tasks(_square, producer(), backend="serial", window=4)
+        for _ in range(3):
+            next(stream)
+        # A bounded window must not have drained an unbounded input.
+        assert len(consumed) <= 4 + 3
+        stream.close()
+
+    def test_chunksize_roundtrip(self):
+        items = list(range(23))
+        out = list(
+            run_tasks(_square, items, backend="process", workers=2, chunksize=5)
+        )
+        assert [o.value for _, o in out] == [x * x for x in items]
+
+    def test_empty_input(self):
+        assert list(run_tasks(_square, [], backend="thread")) == []
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            list(run_tasks(_square, [1], window=0))
+
+
+# ---------------------------------------------------------------------------
+# solve_stream: the pipeline
+# ---------------------------------------------------------------------------
+class TestSolveStream:
+    def test_ordered_stream_matches_individual_solves(self):
+        problems = mixed_workload(9)
+        results = list(solve_stream(problems, backend="serial"))
+        assert results == [solve(p) for p in problems]
+
+    def test_unordered_with_index_reassembles(self):
+        problems = mixed_workload(12)
+        pairs = list(
+            solve_stream(
+                problems, backend="thread", workers=4, ordered=False, with_index=True
+            )
+        )
+        assert sorted(index for index, _ in pairs) == list(range(12))
+        by_index = dict(pairs)
+        expected = [solve(p) for p in problems]
+        assert [by_index[i] for i in range(12)] == expected
+
+    def test_stream_is_lazy(self):
+        consumed = []
+
+        def producer():
+            for seed in itertools.count():
+                consumed.append(seed)
+                yield shifted_problem(0, seed=seed % 5)
+
+        stream = solve_stream(producer(), backend="serial", window=4)
+        for _ in range(3):
+            next(stream)
+        assert len(consumed) <= 4 + 3
+        stream.close()
+
+    def test_exact_duplicates_solved_once(self):
+        clear_solve_cache()
+        problems = [shifted_problem(0)] * 6
+        results = list(solve_stream(problems, backend="serial"))
+        assert len(results) == 6
+        assert len({id(r) for r in results}) == 6  # independent objects
+        assert results[0] == results[5]
+        # One DP run for six tasks: dedupe, not the cache, absorbed 5.
+        stats = solve_cache_stats()
+        assert stats["fresh_solves"] == 1
+        assert stats["misses"] == 1 and stats["hits"] == 0
+
+    def test_isomorphic_duplicates_replay_remapped(self):
+        clear_solve_cache()
+        problems = [shifted_problem(shift) for shift in (0, 3, 11, 7)]
+        results = list(solve_stream(problems, backend="serial"))
+        stats = solve_cache_stats()
+        assert stats["fresh_solves"] == 1
+        # Every shifted result witnesses its own instance with the same value.
+        values = {r.value for r in results}
+        assert len(values) == 1
+        for problem, result in zip(problems, results):
+            assert result.require_schedule().instance == problem.instance
+            # Replays carry the representative's engine metadata verbatim.
+            assert result.extra["engine"] == results[0].extra["engine"]
+
+    def test_dedupe_false_solves_each(self):
+        clear_solve_cache()
+        problems = [shifted_problem(0)] * 4
+        list(solve_stream(problems, backend="serial", dedupe=False))
+        stats = solve_cache_stats()
+        # No stream dedupe: first solve is fresh, the rest hit the cache.
+        assert stats["fresh_solves"] == 1 and stats["hits"] == 3
+
+    def test_dedupe_with_cache_disabled_still_collapses_exact(self):
+        configure_solve_cache(0)
+        clear_solve_cache()
+        problems = [shifted_problem(0)] * 5
+        results = list(solve_stream(problems, backend="serial"))
+        assert results[0] == results[4]
+        # Stream dedupe still collapsed the five exact duplicates onto one
+        # DP run even though the cache tiers were off.
+        assert solve_cache_stats()["fresh_solves"] == 1
+        assert solve_cache_stats()["hits"] == 0
+
+    def test_on_error_validation(self):
+        with pytest.raises(ValueError):
+            list(solve_stream([], on_error="explode"))
+
+    def test_error_result_round_trips_json(self):
+        result = solve_batch([shifted_problem(0)], solver="no-such-solver")[0]
+        assert result.status == "error"
+        clone = from_json(to_json(result))
+        assert clone == result
+        assert clone.extra["error_type"] == "SolverError"
+
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_mixed_failures_keep_positions(self, backend):
+        # Alternate solvable gap problems with throughput problems that the
+        # forced solver cannot handle: failures land exactly at their input
+        # positions on every backend.
+        problems = mixed_workload(9)
+        results = list(
+            solve_stream(problems, solver="gap-dp", backend=backend, workers=2)
+        )
+        for problem, result in zip(problems, results):
+            if problem.objective == "gaps":
+                assert result.solver == "gap-dp"
+            else:
+                assert result.status == "error"
+
+
+# ---------------------------------------------------------------------------
+# the disk tier
+# ---------------------------------------------------------------------------
+class TestDiskSolveCache:
+    def test_put_get_roundtrip(self, tmp_path):
+        cache = DiskSolveCache(str(tmp_path))
+        key = (("gaps",), (1, (0, 2), (((0, 1), 2),)))
+        entry = (True, 3, ((0, 1), (1, 4)), {"name": "interval-dp", "stats": {"m": 1}})
+        cache.put(key, entry)
+        assert cache.get(key) == entry
+        assert cache.counters() == {"hits": 1, "misses": 0, "writes": 1}
+
+    def test_miss_on_absent_and_corrupt(self, tmp_path):
+        cache = DiskSolveCache(str(tmp_path))
+        key = (("gaps",), (1,))
+        assert cache.get(key) is None
+        path = cache._entry_path(cache_key_digest(key))
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("{not json")
+        assert cache.get(key) is None
+        assert cache.counters()["misses"] == 2
+
+    def test_key_mismatch_treated_as_miss(self, tmp_path):
+        cache = DiskSolveCache(str(tmp_path))
+        key = (("gaps",), (1, (2,)))
+        cache.put(key, (True, 0, (), None))
+        path = cache._entry_path(cache_key_digest(key))
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+        data["key"] = "something else"
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(data, handle)
+        assert cache.get(key) is None
+
+    def test_engine_version_bump_invalidates(self, tmp_path, monkeypatch):
+        cache = DiskSolveCache(str(tmp_path))
+        key = (("gaps",), (1,))
+        cache.put(key, (True, 2, (), None))
+        assert cache.stats()["entries"] == 1
+        # A new engine version addresses a fresh namespace: the old entry
+        # is invisible (stale), not replayed.
+        monkeypatch.setattr(
+            "repro.runtime.diskcache.ENGINE_VERSION", "99.0", raising=True
+        )
+        bumped = DiskSolveCache(str(tmp_path))
+        assert bumped.get(key) is None
+        stats = bumped.stats()
+        assert stats["entries"] == 0 and stats["stale_entries"] == 1
+
+    def test_clear_removes_all_versions(self, tmp_path):
+        cache = DiskSolveCache(str(tmp_path))
+        cache.put((("gaps",), (1,)), (True, 0, (), None))
+        cache.put((("power", 2.0), (1,)), (False, None, None, None))
+        assert cache.clear() == 2
+        assert cache.stats()["entries"] == 0
+
+    def test_configure_handle_semantics(self, tmp_path):
+        first = configure_disk_cache(str(tmp_path))
+        again = configure_disk_cache(str(tmp_path))
+        assert first is again  # same directory keeps the live handle
+        other = configure_disk_cache(str(tmp_path / "other"))
+        assert other is not first
+        configure_disk_cache(None)
+        assert get_disk_cache() is None and disk_cache_dir() is None
+
+    def test_env_var_enables_lazily(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        # The autouse fixture configured the cache off explicitly, which
+        # outranks the env var; reset to the unconfigured state first.
+        import repro.runtime.diskcache as diskcache
+
+        monkeypatch.setattr(diskcache, "_DISK", None)
+        monkeypatch.setattr(diskcache, "_EXPLICIT", False)
+        cache = get_disk_cache()
+        assert cache is not None and cache.root == str(tmp_path)
+
+
+# ---------------------------------------------------------------------------
+# the two tiers together
+# ---------------------------------------------------------------------------
+class TestTwoTierCache:
+    def test_disk_hit_replays_byte_identically(self, tmp_path):
+        configure_disk_cache(str(tmp_path))
+        clear_solve_cache()
+        problems = [
+            shifted_problem(0),
+            shifted_problem(0, objective="power", alpha=2.0),
+        ]
+        first = [to_json(solve(p)) for p in problems]
+        assert solve_cache_stats()["disk"]["writes"] == 2
+        # Drop the memory tier (simulating a new process) and re-solve.
+        configure_solve_cache(0)
+        configure_solve_cache(256)
+        clear_solve_cache()
+        second = [to_json(solve(p)) for p in problems]
+        stats = solve_cache_stats()
+        assert second == first
+        assert stats["fresh_solves"] == 0
+        assert stats["disk"]["hits"] == 2
+
+    def test_disk_hit_promotes_to_memory(self, tmp_path):
+        configure_disk_cache(str(tmp_path))
+        clear_solve_cache()
+        problem = shifted_problem(0)
+        solve(problem)
+        configure_solve_cache(0)
+        configure_solve_cache(256)
+        clear_solve_cache()
+        solve(problem)  # memory miss -> disk hit -> promotion
+        solve(problem)  # memory hit, no further disk traffic
+        stats = solve_cache_stats()
+        assert stats["hits"] == 1 and stats["disk"]["hits"] == 1
+
+    def test_disk_only_mode_works(self, tmp_path):
+        configure_disk_cache(str(tmp_path))
+        configure_solve_cache(0)  # memory tier off, disk tier on
+        clear_solve_cache()
+        problem = shifted_problem(0)
+        first = to_json(solve(problem))
+        second = to_json(solve(problem))
+        assert first == second
+        stats = solve_cache_stats()
+        assert stats["fresh_solves"] == 1
+        assert stats["disk"]["hits"] == 1 and stats["disk"]["writes"] == 1
+
+    def test_seed_solve_cache_eligibility(self, tmp_path):
+        problem = shifted_problem(0)
+        result = solve(problem)
+        clear_solve_cache()
+        from repro.api.solvers import _SOLVE_CACHE
+
+        _SOLVE_CACHE.clear()
+        assert seed_solve_cache(problem, result) is True
+        replay = solve(problem)
+        assert to_json(replay) == to_json(result)
+        assert solve_cache_stats()["fresh_solves"] == 0
+        # Non-exact results are not eligible.
+        greedy = solve(problem, solver="greedy-gap")
+        assert seed_solve_cache(problem, greedy) is False
+        # Throughput problems have no canonical objective key.
+        tp = mixed_workload(3)[2]
+        assert seed_solve_cache(tp, solve(tp)) is False
+
+
+# ---------------------------------------------------------------------------
+# satellite: cache accounting under concurrency
+# ---------------------------------------------------------------------------
+class TestConcurrentAccounting:
+    def test_thread_backend_hit_miss_counts_exact(self):
+        clear_solve_cache()
+        shifts = (0, 2, 5, 9, 13, 21)
+        problems = [shifted_problem(shift) for shift in shifts]
+        results = list(solve_stream(problems, backend="thread", workers=4))
+        stats = solve_cache_stats()
+        # The canonical dedupe parks the five isomorphic duplicates behind
+        # one in-flight representative: exactly one miss-then-fresh-solve,
+        # then exactly one cache replay per duplicate — even with four
+        # worker threads racing.
+        assert stats["fresh_solves"] == 1
+        assert stats["misses"] == 1
+        assert stats["hits"] == len(shifts) - 1
+        assert len({r.value for r in results}) == 1
+
+    def test_thread_backend_no_dedupe_counts_exact(self):
+        clear_solve_cache()
+        # Distinct seeds: no two problems share a canonical key, so every
+        # solve is a miss and the counters must sum exactly.
+        problems = [shifted_problem(0, seed=seed) for seed in range(8)]
+        list(solve_stream(problems, backend="thread", workers=4, dedupe=False))
+        stats = solve_cache_stats()
+        assert stats["hits"] + stats["misses"] == 8
+        assert stats["fresh_solves"] == stats["misses"]
+
+    def test_disk_replay_byte_identical_across_processes(self, tmp_path):
+        configure_disk_cache(str(tmp_path))
+        clear_solve_cache()
+        problems = [shifted_problem(0, seed=seed) for seed in range(4)]
+        baseline = [to_json(solve(p)) for p in problems]  # warms the disk tier
+        assert solve_cache_stats()["disk"]["writes"] == 4
+        # Fresh pool workers have cold memory tiers; the payload-carried
+        # cache directory points them at the warm disk tier, and their
+        # replayed engine metadata must serialize byte-identically here.
+        results = solve_batch(problems, workers=2, backend="process", dedupe=False)
+        assert [to_json(r) for r in results] == baseline
+        for result in results:
+            assert result.extra["engine"]["stats"]  # metadata rode along
+
+
+# ---------------------------------------------------------------------------
+# acceptance: cross-backend equivalence
+# ---------------------------------------------------------------------------
+class TestCrossBackendEquivalence:
+    def test_identical_ordered_results_and_warm_cache_zero_dp(self, tmp_path):
+        problems = mixed_workload(18)
+
+        serialized = {}
+        for backend in ("serial", "thread", "process"):
+            clear_solve_cache()
+            results = list(
+                solve_stream(problems, backend=backend, workers=3, chunksize=2)
+            )
+            assert [r.status for r in results] == [
+                "optimal" if p.objective in ("gaps", "power") else "approximate"
+                for p in problems
+            ]
+            serialized[backend] = [to_json(r) for r in results]
+        assert serialized["serial"] == serialized["thread"] == serialized["process"]
+
+        # Warm-disk pass: populate the disk tier once, drop every in-memory
+        # entry, then re-run the whole set — zero DP evaluations, and the
+        # JSON output is byte-identical to the cold run.
+        configure_disk_cache(str(tmp_path))
+        clear_solve_cache()
+        cold = [to_json(r) for r in solve_stream(problems, backend="serial")]
+        assert cold == serialized["serial"]
+        configure_solve_cache(0)
+        configure_solve_cache(256)
+        clear_solve_cache()
+        warm = [to_json(r) for r in solve_stream(problems, backend="serial")]
+        stats = solve_cache_stats()
+        assert warm == cold
+        assert stats["fresh_solves"] == 0  # every DP answer came from disk
+        assert stats["disk"]["hits"] > 0
+
+    def test_solve_batch_backend_parameter(self):
+        problems = mixed_workload(6)
+        assert solve_batch(problems, backend="thread", workers=2) == solve_batch(
+            problems
+        )
+
+
+class TestCustomBackend:
+    def test_registered_backend_usable_by_name(self):
+        class CountingBackend(SerialBackend):
+            name = "counting-test"
+            sessions = 0
+
+            def session(self, fn, chunksize=1):
+                type(self).sessions += 1
+                return super().session(fn, chunksize)
+
+        try:
+            register_backend("counting-test", CountingBackend)
+            results = solve_batch(mixed_workload(3), backend="counting-test")
+            assert len(results) == 3
+            assert CountingBackend.sessions == 1
+        finally:
+            import repro.runtime.backends as backends
+
+            backends._BACKENDS.pop("counting-test", None)
+
+
+class TestErrorEnvelope:
+    def test_error_result_invariants(self):
+        with pytest.raises(ValueError):
+            SolveResult(status="error", objective="gaps", value=3, schedule=None)
+        result = SolveResult(status="error", objective="gaps", value=None, schedule=None)
+        assert not result.feasible
+        with pytest.raises(SolverError):
+            result.raise_for_status()
+
+    def test_copyable_and_comparable(self):
+        result = solve_batch([shifted_problem(0)], solver="no-such-solver")[0]
+        clone = copy.deepcopy(result)
+        assert clone == result
+
+
+class TestErrorDedupeRetry:
+    """A failed representative must not speak for its duplicates."""
+
+    def test_transient_failure_retries_duplicates(self):
+        from repro.api.registry import _REGISTRY, register_solver
+        from repro.api import OneIntervalInstance
+
+        attempts = {"count": 0}
+
+        @register_solver(
+            "flaky-test",
+            objective="gaps",
+            kind="baseline",
+            instance_types=(OneIntervalInstance,),
+        )
+        def _flaky(problem):
+            attempts["count"] += 1
+            if attempts["count"] == 1:
+                raise RuntimeError("transient failure")
+            return solve(problem, solver="gap-dp")
+
+        try:
+            problems = [shifted_problem(0)] * 3
+            results = list(
+                solve_stream(problems, solver="flaky-test", backend="serial")
+            )
+            # The representative failed once; both duplicates were retried
+            # (the first was promoted to representative, the second then
+            # collapsed onto it), so exactly one error escapes.
+            assert [r.status for r in results] == ["error", "optimal", "optimal"]
+            assert attempts["count"] == 2
+        finally:
+            _REGISTRY.pop("flaky-test", None)
+
+    def test_error_not_remembered_for_later_duplicates(self):
+        from repro.api.registry import _REGISTRY, register_solver
+        from repro.api import OneIntervalInstance
+
+        attempts = {"count": 0}
+
+        @register_solver(
+            "flaky-later-test",
+            objective="gaps",
+            kind="baseline",
+            instance_types=(OneIntervalInstance,),
+        )
+        def _flaky(problem):
+            attempts["count"] += 1
+            if attempts["count"] == 1:
+                raise RuntimeError("transient failure")
+            return solve(problem, solver="gap-dp")
+
+        try:
+            # window=4 forces the later duplicates to arrive after the
+            # failed representative already completed: they must re-solve,
+            # not replay the stale error from the dedupe LRU.
+            problems = [shifted_problem(0)] * 2
+
+            def trickle():
+                yield problems[0]
+                yield problems[1]
+
+            results = list(
+                solve_stream(
+                    trickle(), solver="flaky-later-test", backend="serial", window=1
+                )
+            )
+            assert [r.status for r in results] == ["error", "optimal"]
+            assert attempts["count"] == 2
+        finally:
+            _REGISTRY.pop("flaky-later-test", None)
+
+
+class TestCacheContains:
+    def test_contains_tracks_both_tiers(self, tmp_path):
+        from repro.api.solvers import _SOLVE_CACHE, solve_cache_contains
+
+        problem = shifted_problem(0)
+        assert solve_cache_contains(problem) is False
+        solve(problem)
+        assert solve_cache_contains(problem) is True
+        # Evicted from memory, no disk tier: no longer cheaply replayable.
+        _SOLVE_CACHE.clear()
+        assert solve_cache_contains(problem) is False
+        # With a disk tier the entry survives memory eviction.
+        configure_disk_cache(str(tmp_path))
+        clear_solve_cache()
+        solve(problem)
+        _SOLVE_CACHE.clear()
+        assert solve_cache_contains(problem) is True
+
+    def test_contains_is_counter_neutral(self):
+        from repro.api.solvers import solve_cache_contains
+
+        problem = shifted_problem(0)
+        solve(problem)
+        before = solve_cache_stats()
+        solve_cache_contains(problem)
+        assert solve_cache_stats() == before
+
+
+class TestRegisterBackendDecorator:
+    def test_decorator_factory_form(self):
+        import repro.runtime.backends as backends
+
+        try:
+
+            @register_backend("decorated-test")
+            class DecoratedBackend(SerialBackend):
+                name = "decorated-test"
+
+            assert isinstance(resolve_backend("decorated-test"), DecoratedBackend)
+        finally:
+            backends._BACKENDS.pop("decorated-test", None)
+
+
+class TestFuzzCorpusPersistence:
+    def test_generation_crash_flushed_immediately_and_sorted(self, tmp_path, monkeypatch):
+        import importlib
+
+        # The package re-exports the fuzz *function* under the same name as
+        # the submodule, so attribute access cannot reach the module.
+        fuzz_mod = importlib.import_module("repro.verify.fuzz")
+
+        real_generate = fuzz_mod.generate_problem
+        calls = {"count": 0}
+
+        def crashing_generate(rng, objective):
+            calls["count"] += 1
+            if calls["count"] == 2:  # crash exactly at case index 1
+                raise RuntimeError("generator exploded")
+            return real_generate(rng, objective)
+
+        monkeypatch.setattr(fuzz_mod, "generate_problem", crashing_generate)
+        flush_sizes = []
+        real_save = fuzz_mod.save_corpus
+
+        def recording_save(failures, path):
+            flush_sizes.append(len(failures))
+            real_save(failures, path)
+
+        monkeypatch.setattr(fuzz_mod, "save_corpus", recording_save)
+        corpus = tmp_path / "corpus.json"
+        report = fuzz_mod.fuzz(seed=0, n=6, corpus_path=str(corpus))
+        # The generation crash was flushed during phase 1 (before any
+        # evaluation), and the final corpus is index-sorted.
+        assert flush_sizes[0] == 1
+        crash_failures = [f for f in report.failures if f.kind == "crash"]
+        assert [f.index for f in crash_failures] == [1]
+        indices = [f.index for f in report.failures]
+        assert indices == sorted(indices)
