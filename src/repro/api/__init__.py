@@ -60,7 +60,7 @@ from .solvers import (
     solve_cache_stats,
 )
 from .batch import solve_batch
-from .serialization import from_dict, from_json, to_dict, to_json
+from .serialization import from_dict, from_json, register_codec, to_dict, to_json
 
 __all__ = [
     # problem spec
@@ -90,6 +90,7 @@ __all__ = [
     "from_dict",
     "to_json",
     "from_json",
+    "register_codec",
     # data model re-exports
     "Job",
     "MultiIntervalJob",

@@ -35,12 +35,29 @@ Sub-commands
     the frozen pre-engine seed solvers over the generator families and
     write a schema-validated JSON report (``BENCH_dp.json``); ``--quick``
     is the CI smoke matrix, ``--check`` validates an existing report's
-    schema without re-running anything, and ``--compare PATH`` gates the
-    fresh run against a committed report (exit 1 on a >1.25x median
-    regression of any shared case above the noise floor).
+    schema without re-running anything, ``--compare PATH`` gates the
+    fresh run against a committed report — or, when PATH is a
+    ``HISTORY.jsonl`` file, against its latest entry — (exit 1 on a
+    >1.25x regression of any shared case above the noise floor), and
+    ``--append HISTORY.jsonl`` records the run as one timestamped
+    history line for trend tracking.
 ``cache``
     Inspect (``cache stats``) or empty (``cache clear``) the on-disk tier
     of the canonical solve cache.
+``serve``
+    Run the scheduling service: an HTTP/JSON API over a persistent SQLite
+    job queue, drained by an asyncio scheduler through the configured
+    execution backend (see :mod:`repro.service` and ``docs/service.md``).
+    SIGTERM/SIGINT drain gracefully; interrupted jobs are re-enqueued on
+    the next start.
+``submit`` / ``status`` / ``result`` / ``cancel``
+    Client verbs against a running service (``--url``): submit a JSON
+    instance/problem (``--wait`` blocks for the result envelope), poll a
+    job's status, fetch its result, or cancel it.
+``stats``
+    Print the operational stats payload as JSON — cache tiers, aggregated
+    engine counters, task totals; with ``--url`` the live payload of a
+    running service (identical shape to ``GET /v1/stats``).
 
 Two top-level flags configure the :mod:`repro.runtime` execution layer
 for whichever sub-command follows: ``--backend serial|thread|process``
@@ -55,6 +72,7 @@ solver implementation directly.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional, Sequence, Tuple
 
@@ -293,6 +311,131 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         help="regression factor for --compare (default 1.25)",
     )
+    bench.add_argument(
+        "--append",
+        metavar="HISTORY",
+        help="append the run to this JSONL history file (one timestamped "
+        "line per run; --compare accepts the same file and gates against "
+        "its latest entry)",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the scheduling service (HTTP API + persistent job queue)",
+    )
+    serve.add_argument(
+        "--db",
+        default="service_jobs.db",
+        help="SQLite job-store path (default service_jobs.db); interrupted "
+        "jobs found here are re-enqueued on startup",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=8737, help="bind port (0 for ephemeral)"
+    )
+    serve.add_argument(
+        "--workers", type=int, help="worker count for the execution backend"
+    )
+    serve.add_argument(
+        "--window",
+        type=int,
+        default=4,
+        help="max jobs claimed/in flight per scheduling round (default 4)",
+    )
+    serve.add_argument(
+        "--poll-interval",
+        type=float,
+        default=0.05,
+        help="idle-queue poll interval in seconds (default 0.05)",
+    )
+    serve.add_argument(
+        "--rate",
+        type=float,
+        default=50.0,
+        help="sustained submissions/s per client (0 disables; default 50)",
+    )
+    serve.add_argument(
+        "--burst",
+        type=int,
+        default=100,
+        help="rate-limit burst capacity per client (default 100)",
+    )
+    serve.add_argument(
+        "--max-queued",
+        type=int,
+        default=1024,
+        help="max outstanding jobs per client (0 disables; default 1024)",
+    )
+
+    def _client_parser(name: str, help_text: str) -> argparse.ArgumentParser:
+        p = sub.add_parser(name, help=help_text)
+        p.add_argument(
+            "--url", required=True, help="service base URL, e.g. http://127.0.0.1:8737"
+        )
+        return p
+
+    submit = _client_parser("submit", "submit a job to a running service")
+    submit.add_argument(
+        "--input",
+        "-i",
+        required=True,
+        help="path to a JSON instance or problem ('-' reads stdin)",
+    )
+    submit.add_argument(
+        "--objective",
+        choices=["gaps", "power", "throughput"],
+        help="objective (required unless the input file is a full problem)",
+    )
+    submit.add_argument("--alpha", type=float, help="wake-up cost (power objective)")
+    submit.add_argument(
+        "--max-gaps", type=int, help="gap budget (throughput objective)"
+    )
+    submit.add_argument(
+        "--solver", help="registry solver name (default: the service's default)"
+    )
+    submit.add_argument(
+        "--client", default="cli", help="client id for admission control"
+    )
+    submit.add_argument(
+        "--priority", type=int, default=0, help="higher runs first (default 0)"
+    )
+    submit.add_argument(
+        "--wait",
+        action="store_true",
+        help="block until the job finishes and print the result envelope",
+    )
+    submit.add_argument(
+        "--timeout",
+        type=float,
+        default=60.0,
+        help="--wait timeout in seconds (default 60)",
+    )
+
+    status = _client_parser("status", "show a job's status")
+    status.add_argument("job_id")
+
+    result_cmd = _client_parser("result", "fetch (await) a job's result envelope")
+    result_cmd.add_argument("job_id")
+    result_cmd.add_argument(
+        "--no-wait",
+        action="store_true",
+        help="fail instead of polling when the job is still pending",
+    )
+    result_cmd.add_argument(
+        "--timeout", type=float, default=60.0, help="poll timeout (default 60)"
+    )
+
+    cancel = _client_parser("cancel", "cancel a queued or running job")
+    cancel.add_argument("job_id")
+
+    stats = sub.add_parser(
+        "stats",
+        help="print operational stats (cache tiers, engine counters) as JSON",
+    )
+    stats.add_argument(
+        "--url",
+        help="fetch a running service's /v1/stats instead of local counters",
+    )
 
     return parser
 
@@ -365,8 +508,82 @@ def _print_result(result: SolveResult) -> None:
         _print_schedule_rows(result.schedule)
 
 
+def _client_command(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    """The service-client verbs: submit / status / result / cancel / stats.
+
+    Service-side denials (429 quota, 410 cancelled, 404 unknown) exit 1
+    with the structured payload on stderr; local usage mistakes stay
+    argparse errors (exit 2).
+    """
+    from .service import ServiceClient, ServiceError
+
+    if args.command == "stats":
+        if args.url is None:
+            from .service.stats import operational_stats
+
+            payload = operational_stats()
+        else:
+            try:
+                payload = ServiceClient(args.url).stats()
+            except ServiceError as exc:
+                print(f"stats failed: {exc}", file=sys.stderr)
+                return 1
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+
+    client = ServiceClient(args.url, client_id=getattr(args, "client", "cli"))
+    try:
+        if args.command == "submit":
+            try:
+                problem = _load_problem(args, parser)
+            except (ReproError, ValueError) as exc:
+                parser.error(str(exc))
+            job_id = client.submit(
+                problem, priority=args.priority, solver=args.solver
+            )
+            if not args.wait:
+                print(job_id)
+                return 0
+            result = client.result(job_id, timeout=args.timeout)
+            print(to_json(result, indent=2))
+            return 0
+        if args.command == "status":
+            print(json.dumps(client.status(args.job_id), indent=2, sort_keys=True))
+            return 0
+        if args.command == "result":
+            result = client.result(
+                args.job_id, wait=not args.no_wait, timeout=args.timeout
+            )
+            print(to_json(result, indent=2))
+            return 0
+        if args.command == "cancel":
+            print(json.dumps(client.cancel(args.job_id), indent=2, sort_keys=True))
+            return 0
+    except ServiceError as exc:
+        print(f"{args.command} failed: {exc}", file=sys.stderr)
+        if exc.payload:
+            print(json.dumps(exc.payload, indent=2, sort_keys=True), file=sys.stderr)
+        return 1
+    parser.error(f"unknown client command {args.command!r}")  # pragma: no cover
+    return 2
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns a process exit code."""
+    try:
+        return _dispatch(argv)
+    except BrokenPipeError:
+        # `repro-sched ... | head` closes stdout mid-print; exit with the
+        # conventional SIGPIPE code instead of a traceback.  Re-pointing
+        # stdout at devnull stops the interpreter's shutdown flush from
+        # raising the same error again.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 141
+
+
+def _dispatch(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
 
@@ -398,6 +615,35 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"stale entries: {stats['stale_entries']}")
         print(f"bytes:         {stats['bytes']}")
         return 0
+
+    if args.command == "serve":
+        from .service import ServiceServer
+
+        try:
+            server = ServiceServer(
+                args.db,
+                host=args.host,
+                port=args.port,
+                backend=args.backend,
+                workers=args.workers,
+                window=args.window,
+                poll_interval=args.poll_interval,
+                rate=args.rate,
+                burst=args.burst,
+                max_queued=args.max_queued,
+            )
+        except (ValueError, OSError) as exc:
+            parser.error(str(exc))
+        try:
+            # The announce line is parsed by supervisors (and the tests), so
+            # it must not sit in a block buffer when stdout is a pipe.
+            server.run_forever(announce=lambda line: print(line, flush=True))
+        except OSError as exc:
+            parser.error(f"cannot serve on {args.host}:{args.port}: {exc}")
+        return 0
+
+    if args.command in ("submit", "status", "result", "cancel", "stats"):
+        return _client_command(args, parser)
 
     if args.command == "solve":
         # Bad input files, malformed problems and unknown solver names must
@@ -569,7 +815,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from .perf import (
             DEFAULT_REGRESSION_THRESHOLD,
             BenchSchemaError,
+            append_history,
             compare_reports,
+            load_comparison_report,
             run_bench,
             validate_report_file,
             write_report,
@@ -584,6 +832,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     ("--out", args.out),
                     ("--compare", args.compare),
                     ("--threshold", args.threshold),
+                    ("--append", args.append),
                 ]
                 if value is not None
             ]
@@ -625,15 +874,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.warmup is not None and args.warmup < 0:
             parser.error("--warmup must be >= 0")
         committed = None
+        compare_label = args.compare
         if args.compare is not None:
-            # Load the committed report before the (slow) run so a bad path
-            # or schema fails fast.
+            # Load the committed reference before the (slow) run so a bad
+            # path or schema fails fast.  The reference may be a plain
+            # report or a JSONL history file (gated against its latest
+            # entry).
             try:
-                committed = validate_report_file(args.compare)
+                committed, compare_source = load_comparison_report(args.compare)
             except OSError as exc:
                 parser.error(f"cannot read report {args.compare!r}: {exc}")
-            except (BenchSchemaError, ValueError) as exc:
+            except (BenchSchemaError, ValueError, KeyError) as exc:
                 parser.error(f"--compare report {args.compare!r}: {exc}")
+            if compare_source == "history":
+                compare_label = f"{args.compare} (latest history entry)"
         out = args.out
         if out is None:
             out = "BENCH_smoke.json" if args.quick else "BENCH_dp.json"
@@ -651,6 +905,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
         write_report(report, out)
         print(f"report written to {out}")
+        if args.append is not None:
+            try:
+                entry = append_history(report, args.append)
+            except OSError as exc:
+                print(f"cannot append to {args.append!r}: {exc}", file=sys.stderr)
+                return 1
+            print(f"history appended to {args.append} ({entry['timestamp']})")
         if committed is not None:
             threshold = (
                 DEFAULT_REGRESSION_THRESHOLD
@@ -659,7 +920,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             )
             outcome = compare_reports(report, committed, threshold=threshold)
             print(
-                f"regression gate vs {args.compare}: "
+                f"regression gate vs {compare_label}: "
                 f"{len(outcome['compared'])} cases compared, "
                 f"{len(outcome['skipped'])} skipped (sub-noise-floor), "
                 f"{len(outcome['unmatched'])} unmatched"

@@ -46,3 +46,16 @@ class SolverError(ReproError, RuntimeError):
     This should never happen for valid inputs; it indicates a bug and is
     used by internal assertions that are cheap enough to keep enabled.
     """
+
+
+class CacheConfigurationError(ReproError, OSError):
+    """Raised when a requested cache directory cannot be used.
+
+    Covers paths shadowed by an existing file, unwritable directories, and
+    filesystem errors while preparing the layout.  Raised eagerly at
+    configuration time (``configure_disk_cache`` / ``--cache-dir`` /
+    ``REPRO_CACHE_DIR``) so a misconfigured cache fails before the first
+    solve instead of during an arbitrary later write.  Also an
+    :class:`OSError`, so pre-existing ``except OSError`` callers keep
+    working.
+    """

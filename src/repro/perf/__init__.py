@@ -11,6 +11,13 @@ thin wrapper around :func:`repro.perf.bench.run_bench`.
 """
 
 from .bench import BenchCase, default_cases, run_bench, time_callable
+from .history import (
+    HISTORY_SCHEMA,
+    append_history,
+    latest_history_report,
+    load_comparison_report,
+    read_history,
+)
 from .report import (
     BENCH_SCHEMA,
     DEFAULT_REGRESSION_MIN_MEDIAN,
@@ -29,7 +36,12 @@ __all__ = [
     "run_bench",
     "time_callable",
     "BENCH_SCHEMA",
+    "HISTORY_SCHEMA",
     "BenchSchemaError",
+    "append_history",
+    "read_history",
+    "latest_history_report",
+    "load_comparison_report",
     "compare_reports",
     "DEFAULT_REGRESSION_THRESHOLD",
     "DEFAULT_REGRESSION_MIN_MEDIAN",

@@ -1,0 +1,131 @@
+"""Append-only benchmark history (``HISTORY.jsonl``) for trend tracking.
+
+A single committed ``BENCH_dp.json`` answers "is the current engine as
+fast as the last blessed run?"; the history file answers "how did we get
+here?".  ``repro-sched bench --append HISTORY.jsonl`` adds one timestamped
+line per benchmark run, so the per-PR performance trajectory accumulates
+in-repo and stays grep/`jq`-able (one self-contained JSON object per
+line, never rewritten).
+
+Each line::
+
+    {"schema": "repro.perf/bench-history/v1",
+     "timestamp": "2026-08-07T12:34:56+00:00",
+     "engine_version": "...", "quick": false,
+     "cases": <number of cases>,
+     "report": <the full validated bench report>}
+
+The regression gate composes with this: ``--compare`` accepts either a
+plain report file or a history file, gating against the **latest** history
+entry — so a repo that appends on every PR gets "no worse than the
+previous PR" for free (:func:`load_comparison_report` does the
+dispatching).
+"""
+
+from __future__ import annotations
+
+import json
+from datetime import datetime, timezone
+from typing import Dict, List, Optional, Tuple
+
+from .report import BenchSchemaError, validate_report
+
+__all__ = [
+    "HISTORY_SCHEMA",
+    "append_history",
+    "read_history",
+    "latest_history_report",
+    "load_comparison_report",
+]
+
+HISTORY_SCHEMA = "repro.perf/bench-history/v1"
+
+
+def append_history(
+    report: Dict, path: str, *, timestamp: Optional[str] = None
+) -> Dict:
+    """Validate ``report`` and append one history line to ``path``.
+
+    Returns the entry that was written.  ``timestamp`` (ISO-8601) is
+    injectable for tests; it defaults to the current UTC time.
+    """
+    validate_report(report)
+    if timestamp is None:
+        timestamp = datetime.now(timezone.utc).isoformat(timespec="seconds")
+    entry = {
+        "schema": HISTORY_SCHEMA,
+        "timestamp": timestamp,
+        "engine_version": report["engine"]["version"],
+        "quick": report["quick"],
+        "cases": len(report["cases"]),
+        "report": report,
+    }
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(entry, sort_keys=True))
+        handle.write("\n")
+    return entry
+
+
+def read_history(path: str) -> List[Dict]:
+    """Parse every entry of a history file, oldest first.
+
+    Blank lines are tolerated (hand-edits happen); anything else that is
+    not a valid history entry raises :class:`BenchSchemaError` with its
+    line number.
+    """
+    entries: List[Dict] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise BenchSchemaError(
+                    f"{path}:{number}: not valid JSON: {exc}"
+                ) from exc
+            if not isinstance(entry, dict) or entry.get("schema") != HISTORY_SCHEMA:
+                raise BenchSchemaError(
+                    f"{path}:{number}: not a {HISTORY_SCHEMA!r} entry"
+                )
+            if not isinstance(entry.get("report"), dict):
+                raise BenchSchemaError(f"{path}:{number}: missing embedded report")
+            entries.append(entry)
+    return entries
+
+
+def latest_history_report(path: str) -> Dict:
+    """The embedded report of the newest (last) history entry."""
+    entries = read_history(path)
+    if not entries:
+        raise BenchSchemaError(f"{path}: history file has no entries")
+    report = entries[-1]["report"]
+    validate_report(report)
+    return report
+
+
+def load_comparison_report(path: str) -> Tuple[Dict, str]:
+    """Load a comparison reference that is either a report or a history file.
+
+    Returns ``(report, source)`` where ``source`` is ``"report"`` for a
+    plain bench report and ``"history"`` for a JSONL history file (the
+    latest entry's report).  Dispatch is on content, not file extension: a
+    file whose first non-blank character is ``{`` *and* that parses as a
+    single JSON document is a report; otherwise it is read as history.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError:
+        data = None
+    if isinstance(data, dict) and data.get("schema") != HISTORY_SCHEMA:
+        validate_report(data)
+        return data, "report"
+    if isinstance(data, dict):
+        # A single-line history file parses as one JSON object too.
+        report = data["report"]
+        validate_report(report)
+        return report, "history"
+    return latest_history_report(path), "history"

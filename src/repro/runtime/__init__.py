@@ -17,6 +17,10 @@ tiers a solve consults before doing DP work.
   the canonical solve cache (atomic writes, engine-version invalidation),
   enabled with ``configure_disk_cache()`` / ``--cache-dir`` /
   ``REPRO_CACHE_DIR``.
+* :mod:`repro.runtime.observe` — per-task completion observers:
+  ``add_task_observer(fn)`` sees every ``(problem, result)`` the stream
+  delivers, which is how the scheduling service aggregates engine and
+  status counters without instrumenting callers.
 
 Quickstart::
 
@@ -49,6 +53,12 @@ from .diskcache import (
     disk_cache_dir,
     get_disk_cache,
 )
+from .observe import (
+    add_task_observer,
+    notify_task_observers,
+    remove_task_observer,
+    task_observers,
+)
 from .stream import TaskOutcome, run_tasks, solve_stream
 
 __all__ = [
@@ -75,4 +85,9 @@ __all__ = [
     "TaskOutcome",
     "run_tasks",
     "solve_stream",
+    # completion observers
+    "add_task_observer",
+    "remove_task_observer",
+    "task_observers",
+    "notify_task_observers",
 ]

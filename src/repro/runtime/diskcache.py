@@ -42,6 +42,7 @@ import tempfile
 import threading
 from typing import Dict, Optional, Tuple
 
+from ..core.exceptions import CacheConfigurationError
 from ..core.interval_dp import ENGINE_VERSION
 
 __all__ = [
@@ -87,7 +88,24 @@ class DiskSolveCache:
         self.misses = 0
         self.writes = 0
         self._lock = threading.Lock()
-        os.makedirs(os.path.join(self.root, self.version_tag), exist_ok=True)
+        # Fail fast: a path shadowed by a file or an unwritable directory
+        # must be a clear configuration error here, not a raw OSError out
+        # of some later entry write deep inside a solve.
+        if os.path.exists(self.root) and not os.path.isdir(self.root):
+            raise CacheConfigurationError(
+                f"cache path {self.root!r} exists and is not a directory; "
+                "point --cache-dir / REPRO_CACHE_DIR at a directory"
+            )
+        version_dir = os.path.join(self.root, self.version_tag)
+        try:
+            os.makedirs(version_dir, exist_ok=True)
+            fd, probe = tempfile.mkstemp(prefix=".probe-", dir=version_dir)
+            os.close(fd)
+            os.unlink(probe)
+        except OSError as exc:
+            raise CacheConfigurationError(
+                f"cache directory {self.root!r} is not writable: {exc}"
+            ) from exc
 
     # -- addressing ---------------------------------------------------------
     def _entry_path(self, digest: str) -> str:

@@ -1,0 +1,81 @@
+"""Per-task completion observers for the streaming pipeline.
+
+The runtime layer is where every batch solve flows through, which makes it
+the natural place to watch traffic without instrumenting each caller.  An
+observer is any callable ``fn(problem, result)``; once registered with
+:func:`add_task_observer` it is invoked in the delivering process for every
+result :func:`repro.runtime.solve_stream` emits — fresh solves, cache
+replays, deduped duplicates, and captured ``status="error"`` envelopes
+alike — exactly once per delivered result.
+
+Observers are for *metrics*, not control flow: they run synchronously on
+the delivery path, must be fast, and are exception-isolated (a raising
+observer is dropped from that notification, never the stream).  The
+scheduling service's :class:`repro.service.stats.TaskMetrics` aggregates
+engine counters and per-status totals through this hook; anything else —
+tracing, sampling, progress bars — registers the same way.
+
+Note that observers fire in the process that *delivers* results (the one
+iterating the stream).  Under the process backend, worker-side solves are
+still observed because delivery happens in the parent.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, List, Tuple
+
+__all__ = [
+    "add_task_observer",
+    "remove_task_observer",
+    "task_observers",
+    "notify_task_observers",
+]
+
+TaskObserver = Callable[[Any, Any], None]
+
+_OBSERVERS: List[TaskObserver] = []
+_LOCK = threading.Lock()
+
+
+def add_task_observer(fn: TaskObserver) -> TaskObserver:
+    """Register ``fn(problem, result)``; registering twice is a no-op.
+
+    Returns ``fn`` so it can be used as a decorator.
+    """
+    if not callable(fn):
+        raise TypeError(f"task observer must be callable, got {type(fn).__name__}")
+    with _LOCK:
+        if fn not in _OBSERVERS:
+            _OBSERVERS.append(fn)
+    return fn
+
+
+def remove_task_observer(fn: TaskObserver) -> bool:
+    """Unregister ``fn``; returns True when it was registered."""
+    with _LOCK:
+        try:
+            _OBSERVERS.remove(fn)
+        except ValueError:
+            return False
+    return True
+
+
+def task_observers() -> Tuple[TaskObserver, ...]:
+    """Snapshot of the registered observers, in registration order."""
+    with _LOCK:
+        return tuple(_OBSERVERS)
+
+
+def notify_task_observers(problem: Any, result: Any) -> None:
+    """Invoke every observer with ``(problem, result)``, swallowing errors.
+
+    Called by the stream layer on each delivered result.  Observation can
+    never be load-bearing, so a raising observer is silently skipped for
+    that event (it stays registered).
+    """
+    for fn in task_observers():
+        try:
+            fn(problem, result)
+        except Exception:  # noqa: BLE001 — observers must not poison delivery
+            pass

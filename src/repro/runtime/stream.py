@@ -63,6 +63,7 @@ from typing import (
 
 from .backends import Backend, resolve_backend
 from .diskcache import configure_disk_cache, disk_cache_dir
+from .observe import notify_task_observers
 
 __all__ = ["TaskOutcome", "run_tasks", "solve_stream"]
 
@@ -315,7 +316,10 @@ def solve_stream(
     parked_count = 0
     finished: "OrderedDict[Tuple, Tuple[Any, Any, bool]]" = OrderedDict()
 
-    def deliver(index: int, result: Any) -> None:
+    def deliver(index: int, problem: Any, result: Any) -> None:
+        # Every emission path funnels through here exactly once per task,
+        # so this is where registered task observers see the traffic.
+        notify_task_observers(problem, result)
         if ordered:
             pending[index] = result
         else:
@@ -379,10 +383,10 @@ def solve_stream(
                 finished.move_to_end(key)
                 rep_problem, rep_result, seeded = hit
                 if problem == rep_problem:
-                    deliver(index, copy.deepcopy(rep_result))
+                    deliver(index, problem, copy.deepcopy(rep_result))
                     return
                 if seeded and cache_ready(problem):
-                    deliver(index, _parent_solve(problem, solver, on_error))
+                    deliver(index, problem, _parent_solve(problem, solver, on_error))
                     return
                 dispatch(index, problem, key)
                 return
@@ -398,7 +402,7 @@ def solve_stream(
             nonlocal parked_count
             result = resolve_outcome(index, raw)
             problem = problem_of.pop(index)
-            deliver(index, result)
+            deliver(index, problem, result)
             key = key_of.pop(index, None)
             if key is None:
                 return
@@ -428,9 +432,13 @@ def solve_stream(
             for dup_index, dup_problem in duplicates:
                 parked_count -= 1
                 if dup_problem == problem:
-                    deliver(dup_index, copy.deepcopy(result))
+                    deliver(dup_index, dup_problem, copy.deepcopy(result))
                 elif seeded and cache_ready(dup_problem):
-                    deliver(dup_index, _parent_solve(dup_problem, solver, on_error))
+                    deliver(
+                        dup_index,
+                        dup_problem,
+                        _parent_solve(dup_problem, solver, on_error),
+                    )
                 else:
                     dispatch(dup_index, dup_problem, key)
 

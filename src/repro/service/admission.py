@@ -1,0 +1,175 @@
+"""Admission control: per-client token buckets and a queued-jobs quota.
+
+Admission is the service's only defense against a single client drowning
+the queue, so it runs *before* anything touches SQLite's write path.  Two
+independent checks, each individually disableable:
+
+* **Rate limit** — a classic token bucket per client id: ``burst`` tokens
+  of capacity, refilled at ``rate`` tokens/second; one token per submit.
+  An empty bucket yields a denial with a ``retry_after`` hint (seconds
+  until one token exists again), which the HTTP layer surfaces as a
+  structured 429 with a ``Retry-After`` header.
+* **Queue quota** — a cap on the client's *outstanding* jobs (queued +
+  running).  The current load is supplied by the caller (it lives in the
+  job store), keeping this module pure state-machine and trivially
+  testable with a fake clock.
+
+Buckets are created lazily per client and pruned once they are both full
+and stale, so an open service does not grow memory with every client id
+it has ever seen.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+__all__ = ["AdmissionDecision", "AdmissionController"]
+
+#: Denial reason codes (the ``error`` field of the structured 429).
+REASON_RATE = "rate_limited"
+REASON_QUOTA = "quota_exceeded"
+
+#: Idle buckets are pruned once this many seconds past full refill.
+_PRUNE_SLACK = 60.0
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of one admission check.
+
+    ``allowed`` is the verdict; on denial ``reason`` is a stable machine
+    code (``rate_limited`` / ``quota_exceeded``), ``retry_after`` a hint in
+    seconds when waiting helps (``None`` when it does not — a full queue
+    only drains by jobs finishing), and ``detail`` a human sentence.
+    """
+
+    allowed: bool
+    reason: Optional[str] = None
+    retry_after: Optional[float] = None
+    detail: str = ""
+
+    def to_payload(self) -> Dict[str, object]:
+        """The structured 429 body served on denial."""
+        return {
+            "error": self.reason,
+            "retry_after": self.retry_after,
+            "detail": self.detail,
+        }
+
+
+class AdmissionController:
+    """Decides whether one more job from ``client_id`` may enter the queue.
+
+    Parameters
+    ----------
+    rate:
+        Sustained submissions per second per client; ``rate <= 0`` disables
+        rate limiting entirely.
+    burst:
+        Bucket capacity — how many submissions a quiet client may fire
+        back-to-back before the sustained rate applies.
+    max_queued:
+        Maximum outstanding (queued + running) jobs per client;
+        ``max_queued <= 0`` disables the quota.
+    clock:
+        Monotonic time source, injectable for tests.
+    """
+
+    def __init__(
+        self,
+        *,
+        rate: float = 50.0,
+        burst: int = 100,
+        max_queued: int = 1024,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if burst < 1:
+            raise ValueError(f"burst must be >= 1, got {burst}")
+        self.rate = float(rate)
+        self.burst = int(burst)
+        self.max_queued = int(max_queued)
+        self._clock = clock
+        self._lock = threading.Lock()
+        #: client id -> (tokens, last refill timestamp)
+        self._buckets: Dict[str, Tuple[float, float]] = {}
+        self.admitted = 0
+        self.denied: Dict[str, int] = {REASON_RATE: 0, REASON_QUOTA: 0}
+
+    def admit(self, client_id: str, outstanding: int) -> AdmissionDecision:
+        """Check (and on success consume) one submission from ``client_id``.
+
+        ``outstanding`` is the client's current queued + running job count
+        as reported by the job store.  Quota is checked before the rate
+        bucket so a denied-by-quota submit does not also burn a token.
+        """
+        with self._lock:
+            if 0 < self.max_queued <= outstanding:
+                self.denied[REASON_QUOTA] += 1
+                return AdmissionDecision(
+                    allowed=False,
+                    reason=REASON_QUOTA,
+                    retry_after=None,
+                    detail=(
+                        f"client {client_id!r} has {outstanding} outstanding "
+                        f"jobs (limit {self.max_queued}); wait for results "
+                        "or cancel jobs"
+                    ),
+                )
+            if self.rate > 0:
+                now = self._clock()
+                tokens, last = self._buckets.get(client_id, (float(self.burst), None))
+                if last is not None:
+                    tokens = min(float(self.burst), tokens + (now - last) * self.rate)
+                if tokens < 1.0:
+                    self._buckets[client_id] = (tokens, now)
+                    self.denied[REASON_RATE] += 1
+                    retry_after = (1.0 - tokens) / self.rate
+                    return AdmissionDecision(
+                        allowed=False,
+                        reason=REASON_RATE,
+                        retry_after=retry_after,
+                        detail=(
+                            f"client {client_id!r} exceeded {self.rate:g} "
+                            f"submissions/s (burst {self.burst}); retry in "
+                            f"{retry_after:.3f}s"
+                        ),
+                    )
+                self._buckets[client_id] = (tokens - 1.0, now)
+                self._prune(now)
+            self.admitted += 1
+            return AdmissionDecision(allowed=True)
+
+    def _prune(self, now: float) -> None:
+        # A bucket refilled to capacity carries no state worth keeping; give
+        # it some slack so hot clients are not churned in and out.
+        if len(self._buckets) < 1024:
+            return
+        horizon = (self.burst / self.rate) + _PRUNE_SLACK
+        stale = [
+            client
+            for client, (_tokens, last) in self._buckets.items()
+            if now - last > horizon
+        ]
+        for client in stale:
+            del self._buckets[client]
+
+    def config(self) -> Dict[str, object]:
+        """The live limits (served under ``/v1/stats``)."""
+        return {
+            "rate": self.rate,
+            "burst": self.burst,
+            "max_queued": self.max_queued,
+        }
+
+    def stats(self) -> Dict[str, object]:
+        """Admission counters plus configuration."""
+        with self._lock:
+            return {
+                **self.config(),
+                "admitted": self.admitted,
+                "denied": dict(self.denied),
+                "tracked_clients": len(self._buckets),
+            }

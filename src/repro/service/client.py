@@ -1,0 +1,171 @@
+"""A thin HTTP client for the scheduling service (urllib, no dependencies).
+
+:class:`ServiceClient` wraps the five service endpoints in typed calls:
+``submit`` takes a façade :class:`~repro.api.problem.Problem` and returns a
+job id; ``result`` polls until the job is terminal and hands back the
+decoded :class:`~repro.api.result.SolveResult` — byte-identical (modulo
+``wall_time``, which the façade already excludes from equality) to what a
+local :func:`repro.api.solve` call would have produced, because it is the
+same envelope, computed by the same engine, round-tripped through the same
+canonical wire format.
+
+Every non-2xx response raises :class:`ServiceError` carrying the HTTP
+status and the server's structured JSON payload, so callers can
+distinguish a 429 quota denial (inspect ``payload["error"]`` and
+``payload["retry_after"]``) from a 410 cancelled job or a 404 typo.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Optional
+
+from ..api.problem import Problem
+from ..api.result import SolveResult
+from ..api.serialization import from_dict, to_dict
+from ..core.exceptions import ReproError
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(ReproError):
+    """A non-success response from the service.
+
+    ``status`` is the HTTP status code (``None`` for transport failures),
+    ``payload`` the decoded JSON error body (``{}`` when absent).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        status: Optional[int] = None,
+        payload: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.payload = payload or {}
+
+
+class ServiceClient:
+    """Talks to one service instance at ``url`` on behalf of ``client_id``."""
+
+    def __init__(
+        self, url: str, *, client_id: str = "client", timeout: float = 10.0
+    ) -> None:
+        self.url = url.rstrip("/")
+        self.client_id = client_id
+        self.timeout = timeout
+
+    # -- transport ------------------------------------------------------------
+    def _request(
+        self, method: str, path: str, body: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        data = None if body is None else json.dumps(body).encode("utf-8")
+        try:
+            request = urllib.request.Request(
+                self.url + path,
+                data=data,
+                method=method,
+                headers={"Content-Type": "application/json"},
+            )
+        except ValueError as exc:
+            # urllib raises bare ValueError for a malformed/empty URL; keep
+            # the client's error surface uniform for CLI consumers.
+            raise ServiceError(f"invalid service URL {self.url!r}: {exc}") from exc
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            raw = exc.read()
+            try:
+                payload = json.loads(raw.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                payload = {"error": raw.decode("utf-8", "replace")}
+            raise ServiceError(
+                f"{method} {path} failed with HTTP {exc.code}: "
+                f"{payload.get('error', 'unknown error')}",
+                status=exc.code,
+                payload=payload,
+            ) from exc
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"cannot reach service at {self.url}: {exc.reason}"
+            ) from exc
+
+    # -- job lifecycle --------------------------------------------------------
+    def submit(
+        self,
+        problem: Problem,
+        *,
+        priority: int = 0,
+        solver: Optional[str] = None,
+    ) -> str:
+        """Submit one problem; returns the job id (raises on 429/503)."""
+        body: Dict[str, Any] = {
+            "problem": to_dict(problem),
+            "client_id": self.client_id,
+            "priority": priority,
+        }
+        if solver is not None:
+            body["solver"] = solver
+        return str(self._request("POST", "/v1/jobs", body)["id"])
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        """The job's public status view."""
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def result(
+        self,
+        job_id: str,
+        *,
+        wait: bool = True,
+        timeout: float = 60.0,
+        poll_interval: float = 0.05,
+    ) -> SolveResult:
+        """Fetch (by default: await) the job's result envelope.
+
+        Polls until the job turns terminal; raises :class:`ServiceError`
+        for a cancelled job (410), an error job without an envelope, or on
+        timeout.  With ``wait=False`` a single 202 "not ready" also raises.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            payload = self._request("GET", f"/v1/jobs/{job_id}/result")
+            if payload.get("result") is not None:
+                return from_dict(payload["result"])
+            state = payload.get("state")
+            if state == "error":
+                raise ServiceError(
+                    f"job {job_id} failed without a result envelope: "
+                    f"{payload.get('error')}",
+                    status=200,
+                    payload=payload,
+                )
+            if not wait:
+                raise ServiceError(
+                    f"job {job_id} is still {state}", status=202, payload=payload
+                )
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"timed out after {timeout:g}s waiting for job {job_id} "
+                    f"(last state: {state})",
+                    payload=payload,
+                )
+            time.sleep(poll_interval)
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        """Request cancellation; returns ``{"state": "cancelled"|"cancelling"}``."""
+        return self._request("POST", f"/v1/jobs/{job_id}/cancel")
+
+    # -- operational surfaces -------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        """The service's full ``/v1/stats`` payload."""
+        return self._request("GET", "/v1/stats")
+
+    def health(self) -> Dict[str, Any]:
+        """The ``/healthz`` liveness payload."""
+        return self._request("GET", "/healthz")

@@ -1,0 +1,399 @@
+"""The HTTP/JSON boundary of the scheduling service (stdlib only).
+
+A deliberately boring server: :class:`http.server.ThreadingHTTPServer`
+parses the protocol, every response body is canonical JSON, and the
+handler does nothing but translate HTTP verbs into calls on the job store,
+the admission controller, and the scheduler daemon.  No framework, no new
+runtime dependency — CI enforces that the service layer imports only the
+stdlib and ``repro`` itself.
+
+API surface (all JSON)::
+
+    POST /v1/jobs               submit {"problem": <tagged>, "client_id",
+                                "priority", "solver"} -> 202 {"id", "state"}
+                                (429 structured denial, 503 while draining)
+    GET  /v1/jobs/<id>          status view             -> 200 (404 unknown)
+    GET  /v1/jobs/<id>/result   result envelope         -> 200 when terminal
+                                with a result, 202 while pending, 410 when
+                                cancelled
+    POST /v1/jobs/<id>/cancel   cancel                  -> 200 {"state":
+                                "cancelled"|"cancelling"}, 409 if finished
+    GET  /v1/stats              queue depths, per-state counts, cache tiers,
+                                engine counters, admission + daemon counters
+    GET  /healthz               liveness + drain state
+
+:class:`ServiceServer` owns the lifecycle: it wires store + admission +
+daemon together, runs the HTTP pool and the asyncio scheduler loop on
+background threads, and implements graceful drain — on ``stop()`` (or
+SIGTERM under ``repro-sched serve``) it refuses new submissions with 503,
+lets the in-flight window finish and write back, then tears the listener
+down.  A SIGKILLed server instead leaves ``running`` rows behind, which
+the next start re-enqueues via :meth:`JobQueue.recover` — the
+kill/restart test in the suite exercises exactly that path.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+
+from ..api.problem import Problem
+from ..api.serialization import from_dict, to_json
+from .admission import AdmissionController
+from .daemon import SchedulerDaemon
+from .queue import JobQueue
+from .stats import TaskMetrics, operational_stats
+
+__all__ = ["ServiceServer", "start_service"]
+
+
+class _BadRequest(ValueError):
+    """Maps to a 400 with its message in the body."""
+
+
+class _Handler(BaseHTTPRequestHandler):
+    # Keep-alive needs accurate Content-Length on every response; _send
+    # always sets it.
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-sched-service"
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass  # operational visibility comes from /v1/stats, not stderr spam
+
+    @property
+    def service(self) -> "ServiceServer":
+        return self.server.service  # type: ignore[attr-defined]
+
+    # -- plumbing ------------------------------------------------------------
+    def _send(
+        self, status: int, payload: Dict[str, Any], headers: Optional[Dict] = None
+    ) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_body(self) -> Dict[str, Any]:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise _BadRequest("request body must be a JSON object")
+        try:
+            data = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise _BadRequest(f"request body is not valid JSON: {exc}") from exc
+        if not isinstance(data, dict):
+            raise _BadRequest("request body must be a JSON object")
+        return data
+
+    def _job_path(self) -> Tuple[Optional[str], Optional[str]]:
+        """Split ``/v1/jobs/<id>[/verb]`` into (job id, verb)."""
+        parts = [p for p in self.path.split("?", 1)[0].split("/") if p]
+        if len(parts) >= 3 and parts[0] == "v1" and parts[1] == "jobs":
+            return parts[2], parts[3] if len(parts) > 3 else None
+        return None, None
+
+    # -- verbs ---------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 — BaseHTTPRequestHandler API
+        path = self.path.split("?", 1)[0]
+        if path == "/healthz":
+            svc = self.service
+            self._send(
+                200,
+                {
+                    "status": "ok",
+                    "state": "draining" if svc.draining else svc.daemon.state,
+                    "pending": svc.store.pending_count(),
+                },
+            )
+            return
+        if path == "/v1/stats":
+            self._send(200, self.service.stats_payload())
+            return
+        job_id, verb = self._job_path()
+        if job_id is not None and verb is None:
+            record = self.service.store.get(job_id)
+            if record is None:
+                self._send(404, {"error": "unknown job", "id": job_id})
+                return
+            self._send(200, record.public_dict())
+            return
+        if job_id is not None and verb == "result":
+            self._get_result(job_id)
+            return
+        self._send(404, {"error": f"no such endpoint: GET {path}"})
+
+    def do_POST(self) -> None:  # noqa: N802 — BaseHTTPRequestHandler API
+        path = self.path.split("?", 1)[0]
+        if path == "/v1/jobs":
+            try:
+                self._submit()
+            except _BadRequest as exc:
+                self._send(400, {"error": str(exc)})
+            return
+        job_id, verb = self._job_path()
+        if job_id is not None and verb == "cancel":
+            self._cancel(job_id)
+            return
+        self._send(404, {"error": f"no such endpoint: POST {path}"})
+
+    # -- endpoint bodies -----------------------------------------------------
+    def _submit(self) -> None:
+        svc = self.service
+        if svc.draining:
+            self._send(
+                503, {"error": "draining", "detail": "service is shutting down"}
+            )
+            return
+        body = self._read_body()
+        problem_data = body.get("problem")
+        if not isinstance(problem_data, dict):
+            raise _BadRequest(
+                "body must carry a 'problem' key holding a tagged problem object"
+            )
+        try:
+            problem = from_dict(problem_data)
+        except Exception as exc:  # noqa: BLE001 — decoding errors are client errors
+            raise _BadRequest(f"cannot decode problem: {exc}") from exc
+        if not isinstance(problem, Problem):
+            raise _BadRequest(
+                f"'problem' decodes to {type(problem).__name__}, expected a "
+                "problem (wrap bare instances in a problem object)"
+            )
+        client_id = str(body.get("client_id") or "anonymous")
+        solver = str(body.get("solver") or svc.default_solver)
+        try:
+            priority = int(body.get("priority") or 0)
+        except (TypeError, ValueError) as exc:
+            raise _BadRequest(f"priority must be an integer: {exc}") from exc
+        decision = svc.admission.admit(client_id, svc.store.client_load(client_id))
+        if not decision.allowed:
+            headers = {}
+            if decision.retry_after is not None:
+                headers["Retry-After"] = f"{decision.retry_after:.3f}"
+            self._send(429, decision.to_payload(), headers)
+            return
+        record = svc.store.submit(
+            to_json(problem), client_id=client_id, priority=priority, solver=solver
+        )
+        svc.daemon.kick()
+        self._send(202, {"id": record.id, "state": record.state})
+
+    def _get_result(self, job_id: str) -> None:
+        record = self.service.store.get(job_id)
+        if record is None:
+            self._send(404, {"error": "unknown job", "id": job_id})
+            return
+        if record.state == "cancelled":
+            self._send(410, {"id": record.id, "state": record.state})
+            return
+        if record.result is None:
+            # queued / running, or an error job that never produced an
+            # envelope (undecodable payload) — the latter is terminal, so
+            # report it as such rather than "try again".
+            if record.state == "error":
+                self._send(
+                    200,
+                    {"id": record.id, "state": record.state, "result": None,
+                     "error": record.error},
+                )
+                return
+            self._send(202, {"id": record.id, "state": record.state})
+            return
+        self._send(
+            200,
+            {
+                "id": record.id,
+                "state": record.state,
+                "result": json.loads(record.result),
+            },
+        )
+
+    def _cancel(self, job_id: str) -> None:
+        outcome = self.service.store.request_cancel(job_id)
+        if outcome is None:
+            self._send(404, {"error": "unknown job", "id": job_id})
+            return
+        if outcome in ("cancelled", "cancelling"):
+            self._send(200, {"id": job_id, "state": outcome})
+            return
+        self._send(
+            409,
+            {"id": job_id, "state": outcome, "error": "job already finished"},
+        )
+
+
+class ServiceServer:
+    """The assembled service: store + admission + daemon + HTTP listener.
+
+    ``port=0`` binds an ephemeral port (read it back from :attr:`url`).
+    Construction recovers interrupted jobs from the store; :meth:`start`
+    launches the listener and the scheduler loop on daemon threads and
+    returns immediately — use :meth:`run_forever` for the CLI's blocking,
+    signal-driven variant.
+    """
+
+    def __init__(
+        self,
+        db_path: str,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        backend: Optional[object] = None,
+        workers: Optional[int] = None,
+        window: int = 4,
+        poll_interval: float = 0.05,
+        rate: float = 50.0,
+        burst: int = 100,
+        max_queued: int = 1024,
+        default_solver: str = "auto",
+        recover: bool = True,
+    ) -> None:
+        self.store = JobQueue(db_path)
+        self.metrics = TaskMetrics()
+        self.admission = AdmissionController(
+            rate=rate, burst=burst, max_queued=max_queued
+        )
+        self.daemon = SchedulerDaemon(
+            self.store,
+            backend=backend,
+            workers=workers,
+            window=window,
+            poll_interval=poll_interval,
+            metrics=self.metrics,
+        )
+        self.default_solver = default_solver
+        self.recovered = self.store.recover() if recover else 0
+        self.backend = backend
+        self.draining = False
+        self.started_at: Optional[float] = None
+        self._requested_host = host
+        self._requested_port = port
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._http_thread: Optional[threading.Thread] = None
+        self._daemon_thread: Optional[threading.Thread] = None
+
+    # -- lifecycle -----------------------------------------------------------
+    def start(self) -> "ServiceServer":
+        """Bind the listener and launch the scheduler loop; non-blocking."""
+        if self._httpd is not None:
+            raise RuntimeError("service already started")
+        self._httpd = ThreadingHTTPServer(
+            (self._requested_host, self._requested_port), _Handler
+        )
+        self._httpd.service = self  # type: ignore[attr-defined]
+        self.host, self.port = self._httpd.server_address[:2]
+        self._http_thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-service-http",
+            daemon=True,
+        )
+        self._http_thread.start()
+        self._daemon_thread = threading.Thread(
+            target=lambda: asyncio.run(self.daemon.run()),
+            name="repro-service-scheduler",
+            daemon=True,
+        )
+        self._daemon_thread.start()
+        self.started_at = time.time()
+        return self
+
+    @property
+    def url(self) -> str:
+        """Base URL of the bound listener."""
+        if self._httpd is None:
+            raise RuntimeError("service not started")
+        return f"http://{self.host}:{self.port}"
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Graceful drain: 503 new submits, finish in-flight, tear down."""
+        self.draining = True
+        self.daemon.request_stop()
+        if self._daemon_thread is not None:
+            self._daemon_thread.join(timeout=timeout)
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+        if self._http_thread is not None:
+            self._http_thread.join(timeout=timeout)
+        self.store.close()
+
+    def run_forever(self, announce=None) -> None:
+        """Blocking serve loop with SIGTERM/SIGINT graceful drain.
+
+        ``announce`` is called with one human-readable line once the
+        listener is bound (the CLI passes ``print``).
+        """
+        stop_event = threading.Event()
+
+        def _handle(signum, frame):  # noqa: ARG001 — signal API
+            stop_event.set()
+
+        previous = {}
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            previous[signum] = signal.signal(signum, _handle)
+        self.start()
+        try:
+            if announce is not None:
+                announce(
+                    f"repro-sched service listening on {self.url} "
+                    f"(db={self.store.path}, window={self.daemon.window}, "
+                    f"recovered={self.recovered})"
+                )
+            while not stop_event.is_set():
+                stop_event.wait(0.2)
+            if announce is not None:
+                announce("drain requested; finishing in-flight jobs...")
+            self.stop()
+            if announce is not None:
+                counts = self.store.counts()
+                announce(
+                    f"drained cleanly (done={counts['done']} "
+                    f"error={counts['error']} cancelled={counts['cancelled']} "
+                    f"queued={counts['queued']})"
+                )
+        finally:
+            for signum, handler in previous.items():
+                signal.signal(signum, handler)
+
+    def wait_idle(self, timeout: float = 30.0, poll: float = 0.02) -> bool:
+        """Block until no job is queued or running (testing convenience)."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if self.store.pending_count() == 0:
+                return True
+            time.sleep(poll)
+        return False
+
+    # -- the stats surface ----------------------------------------------------
+    def stats_payload(self) -> Dict[str, Any]:
+        """``GET /v1/stats``: the shared operational payload + service block."""
+        payload = operational_stats(self.metrics)
+        counts = self.store.counts()
+        payload["service"] = {
+            "state": "draining" if self.draining else self.daemon.state,
+            "uptime": None
+            if self.started_at is None
+            else time.time() - self.started_at,
+            "recovered_jobs": self.recovered,
+            "jobs": counts,
+            "queue_depth": counts["queued"] + counts["running"],
+            "oldest_queued_age": self.store.oldest_queued_age(),
+            "scheduler": self.daemon.stats(),
+            "admission": self.admission.stats(),
+        }
+        return payload
+
+
+def start_service(db_path: str, **kwargs: Any) -> ServiceServer:
+    """Construct and start a :class:`ServiceServer` in one call."""
+    return ServiceServer(db_path, **kwargs).start()

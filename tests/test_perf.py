@@ -305,6 +305,46 @@ class TestBenchCLI:
         with pytest.raises(SystemExit):
             main(["bench", "--quick", "--threshold", "2.0"])
 
+    def test_bench_append_writes_history_line(self, tmp_path, capsys):
+        from repro.perf import read_history
+
+        out = tmp_path / "bench.json"
+        history = tmp_path / "HISTORY.jsonl"
+        for _ in range(2):
+            code = main(
+                ["bench", "--quick", "--out", str(out), "--repeats", "1",
+                 "--warmup", "0", "--no-v1", "--no-baseline",
+                 "--append", str(history)]
+            )
+            assert code == 0
+        assert "history appended" in capsys.readouterr().out
+        entries = read_history(str(history))
+        assert len(entries) == 2
+        assert all(entry["quick"] for entry in entries)
+
+    def test_bench_compare_accepts_history_file(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        history = tmp_path / "HISTORY.jsonl"
+        main(
+            ["bench", "--quick", "--out", str(out), "--repeats", "1",
+             "--warmup", "0", "--no-v1", "--no-baseline", "--append", str(history)]
+        )
+        capsys.readouterr()
+        code = main(
+            ["bench", "--quick", "--out", str(out), "--repeats", "1",
+             "--warmup", "0", "--no-v1", "--no-baseline",
+             "--compare", str(history), "--threshold", "1000",
+             "--append", str(history)]
+        )
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "latest history entry" in captured
+        assert "regression gate" in captured
+
+    def test_bench_check_rejects_append(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["bench", "--check", "x.json", "--append", "HISTORY.jsonl"])
+
     def test_committed_report_is_schema_valid(self):
         # BENCH_dp.json at the repo root is a released artifact; CI fails on
         # drift, and so does the tier-1 suite.

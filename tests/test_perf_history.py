@@ -1,0 +1,150 @@
+"""Tests for the benchmark history file (repro.perf.history)."""
+
+import json
+
+import pytest
+
+from repro.perf import (
+    BENCH_SCHEMA,
+    HISTORY_SCHEMA,
+    BenchSchemaError,
+    append_history,
+    latest_history_report,
+    load_comparison_report,
+    read_history,
+    write_report,
+)
+
+
+def make_report(median=0.01, name="gap/test-n10-p1"):
+    """A minimal report that passes validate_report."""
+    timing = {"best": median, "median": median, "mean": median, "runs": [median]}
+    return {
+        "schema": BENCH_SCHEMA,
+        "engine": {"name": "interval-dp", "version": "v2"},
+        "quick": True,
+        "seed": 0,
+        "repeats": 1,
+        "warmup": 0,
+        "environment": {
+            "python": "3.11",
+            "implementation": "CPython",
+            "platform": "test",
+        },
+        "cases": [
+            {
+                "name": name,
+                "objective": "gaps",
+                "family": "uniform",
+                "num_jobs": 10,
+                "num_processors": 1,
+                "alpha": None,
+                "value": 2,
+                "engine": dict(timing),
+                "engine_v1": None,
+                "baseline": None,
+                "speedup": None,
+                "speedup_vs_v1": None,
+                "engine_stats": {"states_computed": 5},
+            }
+        ],
+    }
+
+
+class TestAppend:
+    def test_append_writes_one_line_per_run(self, tmp_path):
+        path = str(tmp_path / "HISTORY.jsonl")
+        entry = append_history(make_report(), path, timestamp="2026-08-07T00:00:00+00:00")
+        append_history(make_report(median=0.02), path, timestamp="2026-08-07T01:00:00+00:00")
+        assert entry["schema"] == HISTORY_SCHEMA
+        assert entry["engine_version"] == "v2"
+        assert entry["cases"] == 1
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = [line for line in handle if line.strip()]
+        assert len(lines) == 2
+        for line in lines:
+            parsed = json.loads(line)  # each line is self-contained JSON
+            assert parsed["schema"] == HISTORY_SCHEMA
+
+    def test_append_stamps_current_utc_time_by_default(self, tmp_path):
+        path = str(tmp_path / "HISTORY.jsonl")
+        entry = append_history(make_report(), path)
+        assert "+00:00" in entry["timestamp"]
+
+    def test_append_rejects_invalid_report(self, tmp_path):
+        path = str(tmp_path / "HISTORY.jsonl")
+        with pytest.raises(BenchSchemaError):
+            append_history({"schema": "wrong"}, path)
+        assert not (tmp_path / "HISTORY.jsonl").exists()  # nothing written
+
+
+class TestRead:
+    def test_read_returns_entries_oldest_first(self, tmp_path):
+        path = str(tmp_path / "HISTORY.jsonl")
+        append_history(make_report(median=0.01), path, timestamp="t1")
+        append_history(make_report(median=0.02), path, timestamp="t2")
+        entries = read_history(path)
+        assert [e["timestamp"] for e in entries] == ["t1", "t2"]
+
+    def test_read_tolerates_blank_lines(self, tmp_path):
+        path = tmp_path / "HISTORY.jsonl"
+        append_history(make_report(), str(path), timestamp="t1")
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("\n\n")
+        assert len(read_history(str(path))) == 1
+
+    def test_read_rejects_garbage_with_line_number(self, tmp_path):
+        path = tmp_path / "HISTORY.jsonl"
+        append_history(make_report(), str(path), timestamp="t1")
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("not json\n")
+        with pytest.raises(BenchSchemaError, match=":2"):
+            read_history(str(path))
+
+    def test_read_rejects_foreign_schema(self, tmp_path):
+        path = tmp_path / "HISTORY.jsonl"
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write('{"schema": "something/else"}\n')
+        with pytest.raises(BenchSchemaError, match="entry"):
+            read_history(str(path))
+
+
+class TestLatest:
+    def test_latest_is_last_entry(self, tmp_path):
+        path = str(tmp_path / "HISTORY.jsonl")
+        append_history(make_report(median=0.01), path, timestamp="t1")
+        append_history(make_report(median=0.05), path, timestamp="t2")
+        report = latest_history_report(path)
+        assert report["cases"][0]["engine"]["median"] == 0.05
+
+    def test_latest_on_empty_file_raises(self, tmp_path):
+        path = tmp_path / "HISTORY.jsonl"
+        path.write_text("\n")
+        with pytest.raises(BenchSchemaError, match="no entries"):
+            latest_history_report(str(path))
+
+
+class TestLoadComparisonReport:
+    def test_plain_report_file(self, tmp_path):
+        path = str(tmp_path / "BENCH.json")
+        write_report(make_report(), path)
+        report, source = load_comparison_report(path)
+        assert source == "report"
+        assert report["schema"] == BENCH_SCHEMA
+
+    def test_multi_line_history_file(self, tmp_path):
+        path = str(tmp_path / "HISTORY.jsonl")
+        append_history(make_report(median=0.01), path, timestamp="t1")
+        append_history(make_report(median=0.07), path, timestamp="t2")
+        report, source = load_comparison_report(path)
+        assert source == "history"
+        assert report["cases"][0]["engine"]["median"] == 0.07
+
+    def test_single_line_history_file(self, tmp_path):
+        # One appended run parses as a single JSON document; dispatch must
+        # still recognize it as history, not reject it as a bad report.
+        path = str(tmp_path / "HISTORY.jsonl")
+        append_history(make_report(median=0.03), path, timestamp="t1")
+        report, source = load_comparison_report(path)
+        assert source == "history"
+        assert report["cases"][0]["engine"]["median"] == 0.03

@@ -1,0 +1,161 @@
+"""Tests for runtime task observers and disk-cache fail-fast configuration."""
+
+import os
+
+import pytest
+
+from repro.api import OneIntervalInstance, Problem, to_json
+from repro.cli import main
+from repro.core.exceptions import CacheConfigurationError, ReproError
+from repro.runtime import (
+    add_task_observer,
+    notify_task_observers,
+    remove_task_observer,
+    solve_stream,
+    task_observers,
+)
+from repro.runtime.diskcache import DiskSolveCache
+
+
+def _problems(n, offset=0):
+    return [
+        Problem(
+            objective="gaps",
+            instance=OneIntervalInstance.from_pairs(
+                [(0, 2 + offset + i), (1, 3 + offset + i)]
+            ),
+        )
+        for i in range(n)
+    ]
+
+
+@pytest.fixture(autouse=True)
+def clean_cache_state():
+    """Keep --cache-dir experiments from leaking a configured disk tier."""
+    from repro.runtime import configure_disk_cache
+
+    yield
+    configure_disk_cache(None)
+
+
+@pytest.fixture
+def observer_log():
+    seen = []
+
+    def observer(problem, result):
+        seen.append((problem, result))
+
+    add_task_observer(observer)
+    yield seen
+    remove_task_observer(observer)
+
+
+class TestRegistry:
+    def test_add_is_idempotent_and_returns_fn(self):
+        def fn(problem, result):
+            pass
+
+        try:
+            assert add_task_observer(fn) is fn
+            add_task_observer(fn)
+            assert task_observers().count(fn) == 1
+        finally:
+            assert remove_task_observer(fn) is True
+        assert remove_task_observer(fn) is False
+        assert fn not in task_observers()
+
+    def test_rejects_non_callable(self):
+        with pytest.raises(TypeError, match="callable"):
+            add_task_observer(42)
+
+    def test_raising_observer_is_isolated(self):
+        calls = []
+
+        def bad(problem, result):
+            raise RuntimeError("observer bug")
+
+        def good(problem, result):
+            calls.append(result)
+
+        add_task_observer(bad)
+        add_task_observer(good)
+        try:
+            notify_task_observers("p", "r")
+        finally:
+            remove_task_observer(bad)
+            remove_task_observer(good)
+        assert calls == ["r"]  # the raising observer never blocked the good one
+
+
+class TestStreamNotifications:
+    def test_observer_sees_every_delivered_result(self, observer_log):
+        problems = _problems(4, offset=10)
+        results = list(solve_stream(problems))
+        assert len(observer_log) == 4
+        # Observers fire in completion order, which parallel backends do
+        # not promise matches the (input-ordered) yield order — compare
+        # the (problem, result) pairing, not the sequence.
+        observed = {to_json(p): to_json(r) for p, r in observer_log}
+        expected = {to_json(p): to_json(r) for p, r in zip(problems, results)}
+        assert observed == expected
+
+    def test_observer_sees_deduped_duplicates(self, observer_log):
+        base = _problems(1, offset=20)[0]
+        problems = [base, base, base]
+        list(solve_stream(problems))
+        # One DP solve, but three deliveries — observers count tasks, not
+        # solver invocations.
+        assert len(observer_log) == 3
+
+    def test_observer_sees_error_envelopes(self, observer_log):
+        problems = _problems(1, offset=30)
+        results = list(
+            solve_stream(problems, solver="no-such-solver", on_error="result")
+        )
+        assert results[0].status == "error"
+        assert len(observer_log) == 1
+        assert observer_log[0][1].status == "error"
+
+
+class TestDiskCacheFailFast:
+    def test_file_shadowed_path_is_configuration_error(self, tmp_path):
+        shadow = tmp_path / "cache"
+        shadow.write_text("not a directory")
+        with pytest.raises(CacheConfigurationError, match="not a directory"):
+            DiskSolveCache(str(shadow))
+
+    def test_configuration_error_is_both_repro_and_os_error(self, tmp_path):
+        shadow = tmp_path / "cache"
+        shadow.write_text("x")
+        with pytest.raises(ReproError):
+            DiskSolveCache(str(shadow))
+        with pytest.raises(OSError):
+            DiskSolveCache(str(shadow))
+
+    @pytest.mark.skipif(
+        os.geteuid() == 0, reason="permission checks are bypassed as root"
+    )
+    def test_unwritable_directory_is_configuration_error(self, tmp_path):
+        root = tmp_path / "cache"
+        root.mkdir()
+        root.chmod(0o500)
+        try:
+            with pytest.raises(CacheConfigurationError, match="not writable"):
+                DiskSolveCache(str(root))
+        finally:
+            root.chmod(0o700)
+
+    def test_valid_directory_probe_leaves_no_droppings(self, tmp_path):
+        cache = DiskSolveCache(str(tmp_path / "cache"))
+        version_dir = os.path.join(cache.root, cache.version_tag)
+        assert os.listdir(version_dir) == []  # the write probe cleaned up
+
+    def test_cli_cache_dir_pointing_at_file_is_usage_error(self, tmp_path, capsys):
+        shadow = tmp_path / "cache"
+        shadow.write_text("x")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--cache-dir", str(shadow), "cache", "stats"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "cannot use --cache-dir" in err
+        assert "not a directory" in err

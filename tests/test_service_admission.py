@@ -1,0 +1,110 @@
+"""Unit tests for admission control (repro.service.admission)."""
+
+import pytest
+
+from repro.service import AdmissionController, AdmissionDecision
+from repro.service.admission import REASON_QUOTA, REASON_RATE
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+class TestRateLimit:
+    def test_burst_then_denial(self, clock):
+        ctl = AdmissionController(rate=10.0, burst=3, max_queued=0, clock=clock)
+        for _ in range(3):
+            assert ctl.admit("alice", outstanding=0).allowed
+        denied = ctl.admit("alice", outstanding=0)
+        assert not denied.allowed
+        assert denied.reason == REASON_RATE
+        assert denied.retry_after == pytest.approx(0.1)
+
+    def test_refill_restores_tokens(self, clock):
+        ctl = AdmissionController(rate=10.0, burst=1, max_queued=0, clock=clock)
+        assert ctl.admit("alice", outstanding=0).allowed
+        assert not ctl.admit("alice", outstanding=0).allowed
+        clock.advance(0.2)  # two tokens' worth, capped at burst=1
+        assert ctl.admit("alice", outstanding=0).allowed
+        assert not ctl.admit("alice", outstanding=0).allowed
+
+    def test_refill_caps_at_burst(self, clock):
+        ctl = AdmissionController(rate=10.0, burst=2, max_queued=0, clock=clock)
+        ctl.admit("alice", outstanding=0)
+        clock.advance(1000.0)
+        assert ctl.admit("alice", outstanding=0).allowed
+        assert ctl.admit("alice", outstanding=0).allowed
+        assert not ctl.admit("alice", outstanding=0).allowed
+
+    def test_clients_have_independent_buckets(self, clock):
+        ctl = AdmissionController(rate=10.0, burst=1, max_queued=0, clock=clock)
+        assert ctl.admit("alice", outstanding=0).allowed
+        assert not ctl.admit("alice", outstanding=0).allowed
+        assert ctl.admit("bob", outstanding=0).allowed
+
+    def test_rate_zero_disables_limiting(self, clock):
+        ctl = AdmissionController(rate=0.0, burst=1, max_queued=0, clock=clock)
+        for _ in range(100):
+            assert ctl.admit("alice", outstanding=0).allowed
+
+
+class TestQuota:
+    def test_quota_denial_has_no_retry_hint(self, clock):
+        ctl = AdmissionController(rate=0.0, burst=1, max_queued=5, clock=clock)
+        denied = ctl.admit("alice", outstanding=5)
+        assert not denied.allowed
+        assert denied.reason == REASON_QUOTA
+        assert denied.retry_after is None
+
+    def test_quota_checked_before_rate_bucket(self, clock):
+        ctl = AdmissionController(rate=10.0, burst=1, max_queued=1, clock=clock)
+        assert not ctl.admit("alice", outstanding=1).allowed
+        # The quota denial must not have burned the rate token.
+        assert ctl.admit("alice", outstanding=0).allowed
+
+    def test_quota_zero_disables(self, clock):
+        ctl = AdmissionController(rate=0.0, burst=1, max_queued=0, clock=clock)
+        assert ctl.admit("alice", outstanding=10**6).allowed
+
+
+class TestPayloadAndStats:
+    def test_denial_payload_shape(self, clock):
+        ctl = AdmissionController(rate=10.0, burst=1, max_queued=0, clock=clock)
+        ctl.admit("alice", outstanding=0)
+        payload = ctl.admit("alice", outstanding=0).to_payload()
+        assert set(payload) == {"error", "retry_after", "detail"}
+        assert payload["error"] == REASON_RATE
+        assert payload["retry_after"] > 0
+        assert "alice" in payload["detail"]
+
+    def test_counters(self, clock):
+        ctl = AdmissionController(rate=10.0, burst=1, max_queued=1, clock=clock)
+        ctl.admit("alice", outstanding=0)   # admitted
+        ctl.admit("alice", outstanding=0)   # rate-denied
+        ctl.admit("alice", outstanding=1)   # quota-denied
+        stats = ctl.stats()
+        assert stats["admitted"] == 1
+        assert stats["denied"] == {REASON_RATE: 1, REASON_QUOTA: 1}
+        assert stats["rate"] == 10.0
+        assert stats["tracked_clients"] == 1
+
+    def test_allowed_decision_defaults(self):
+        decision = AdmissionDecision(allowed=True)
+        assert decision.reason is None
+        assert decision.retry_after is None
+
+    def test_rejects_nonpositive_burst(self):
+        with pytest.raises(ValueError, match="burst"):
+            AdmissionController(burst=0)

@@ -1,0 +1,64 @@
+"""Dependency hygiene: the service layer must be stdlib + repro only.
+
+The service is advertised as deployable with nothing but a Python
+interpreter and this repository — no web framework, no queue broker, no
+ORM.  This test walks the AST of every module under ``repro.service`` and
+fails if any import reaches outside the standard library or the ``repro``
+package itself, so an accidental third-party dependency can never sneak
+into the service layer.  CI runs this file as part of the service-smoke
+job.
+"""
+
+import ast
+import os
+import sys
+
+import pytest
+
+import repro.service
+
+SERVICE_DIR = os.path.dirname(os.path.abspath(repro.service.__file__))
+MODULES = sorted(
+    name for name in os.listdir(SERVICE_DIR) if name.endswith(".py")
+)
+
+
+def _imported_roots(path):
+    """Yield (root module, level, line) for every import in the file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        tree = ast.parse(handle.read(), filename=path)
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                yield alias.name.split(".")[0], 0, node.lineno
+        elif isinstance(node, ast.ImportFrom):
+            root = (node.module or "").split(".")[0]
+            yield root, node.level, node.lineno
+
+
+def test_service_modules_exist():
+    assert "queue.py" in MODULES
+    assert "daemon.py" in MODULES
+    assert "server.py" in MODULES
+    assert "admission.py" in MODULES
+    assert "client.py" in MODULES
+
+
+@pytest.mark.parametrize("module", MODULES)
+@pytest.mark.skipif(
+    not hasattr(sys, "stdlib_module_names"),
+    reason="sys.stdlib_module_names needs Python 3.10+",
+)
+def test_service_imports_only_stdlib_and_repro(module):
+    offenders = []
+    for root, level, line in _imported_roots(os.path.join(SERVICE_DIR, module)):
+        if level > 0:
+            continue  # relative import — inside repro by construction
+        if root == "repro":
+            continue
+        if root in sys.stdlib_module_names:
+            continue
+        offenders.append(f"{module}:{line}: {root}")
+    assert not offenders, (
+        "service layer imports outside stdlib/repro: " + ", ".join(offenders)
+    )

@@ -1,0 +1,218 @@
+"""Unit tests for the persistent job store (repro.service.queue)."""
+
+import threading
+
+import pytest
+
+from repro.api import OneIntervalInstance, Problem, from_json, to_json
+from repro.service import JOB_STATES, TERMINAL_STATES, JobQueue, JobRecord
+
+
+def _problem_json(pairs=((0, 2), (1, 3))) -> str:
+    instance = OneIntervalInstance.from_pairs(list(pairs))
+    return to_json(Problem(objective="gaps", instance=instance))
+
+
+@pytest.fixture
+def store(tmp_path):
+    queue = JobQueue(str(tmp_path / "jobs.db"))
+    yield queue
+    queue.close()
+
+
+class TestSubmitAndLookup:
+    def test_submit_returns_queued_record(self, store):
+        record = store.submit(_problem_json(), client_id="alice", priority=3)
+        assert record.state == "queued"
+        assert record.client_id == "alice"
+        assert record.priority == 3
+        assert record.attempts == 0
+        assert store.get(record.id) == record
+
+    def test_unknown_id_is_none(self, store):
+        assert store.get("nope") is None
+
+    def test_problem_round_trips_through_record(self, store):
+        text = _problem_json()
+        record = store.submit(text)
+        assert to_json(record.problem_obj()) == text
+
+    def test_list_jobs_newest_first_and_state_filter(self, store):
+        first = store.submit(_problem_json())
+        second = store.submit(_problem_json())
+        assert [r.id for r in store.list_jobs()] == [second.id, first.id]
+        store.request_cancel(first.id)
+        assert [r.id for r in store.list_jobs(state="queued")] == [second.id]
+
+
+class TestClaim:
+    def test_claim_moves_to_running_and_counts_attempt(self, store):
+        record = store.submit(_problem_json())
+        (claimed,) = store.claim(5)
+        assert claimed.id == record.id
+        assert claimed.state == "running"
+        assert claimed.attempts == 1
+        assert store.get(record.id).state == "running"
+
+    def test_claim_orders_by_priority_then_fifo(self, store):
+        low = store.submit(_problem_json(), priority=0)
+        high = store.submit(_problem_json(), priority=5)
+        mid_a = store.submit(_problem_json(), priority=1)
+        mid_b = store.submit(_problem_json(), priority=1)
+        order = [r.id for r in store.claim(10)]
+        assert order == [high.id, mid_a.id, mid_b.id, low.id]
+
+    def test_claim_respects_limit(self, store):
+        for _ in range(5):
+            store.submit(_problem_json())
+        assert len(store.claim(2)) == 2
+        assert store.counts()["running"] == 2
+
+    def test_claim_finalizes_cancel_requested_queued_jobs(self, store):
+        record = store.submit(_problem_json())
+        store.request_cancel(record.id)
+        assert store.claim(5) == []
+        assert store.get(record.id).state == "cancelled"
+
+
+class TestComplete:
+    def test_complete_done(self, store):
+        record = store.submit(_problem_json())
+        store.claim(1)
+        state = store.complete(record.id, result_json='{"ok":1}')
+        assert state == "done"
+        final = store.get(record.id)
+        assert final.state == "done"
+        assert final.result == '{"ok":1}'
+        assert final.finished_at is not None
+
+    def test_complete_failed_records_error(self, store):
+        record = store.submit(_problem_json())
+        store.claim(1)
+        state = store.complete(
+            record.id, result_json='{"status":"error"}', error="boom", failed=True
+        )
+        assert state == "error"
+        assert store.get(record.id).error == "boom"
+
+    def test_cancel_requested_wins_and_discards_result(self, store):
+        record = store.submit(_problem_json())
+        store.claim(1)
+        assert store.request_cancel(record.id) == "cancelling"
+        state = store.complete(record.id, result_json='{"ok":1}')
+        assert state == "cancelled"
+        final = store.get(record.id)
+        assert final.state == "cancelled"
+        assert final.result is None
+
+    def test_complete_non_running_is_noop(self, store):
+        record = store.submit(_problem_json())
+        assert store.complete(record.id, result_json="{}") == "queued"
+        assert store.get(record.id).state == "queued"
+        assert store.complete("nope", result_json="{}") is None
+
+
+class TestCancel:
+    def test_cancel_queued_is_immediate(self, store):
+        record = store.submit(_problem_json())
+        assert store.request_cancel(record.id) == "cancelled"
+        assert store.get(record.id).state == "cancelled"
+
+    def test_cancel_terminal_returns_state(self, store):
+        record = store.submit(_problem_json())
+        store.claim(1)
+        store.complete(record.id, result_json="{}")
+        assert store.request_cancel(record.id) == "done"
+
+    def test_cancel_unknown_is_none(self, store):
+        assert store.request_cancel("nope") is None
+
+
+class TestRecovery:
+    def test_recover_requeues_running(self, store):
+        record = store.submit(_problem_json())
+        store.claim(1)
+        assert store.recover() == 1
+        revived = store.get(record.id)
+        assert revived.state == "queued"
+        assert revived.started_at is None
+        assert revived.attempts == 1  # the interrupted attempt stays visible
+
+    def test_state_survives_reopen(self, tmp_path):
+        path = str(tmp_path / "jobs.db")
+        first = JobQueue(path)
+        record = first.submit(_problem_json(), client_id="alice")
+        first.claim(1)
+        first.close()
+
+        second = JobQueue(path)
+        assert second.recover() == 1
+        revived = second.get(record.id)
+        assert revived.state == "queued"
+        assert revived.problem == record.problem
+        second.close()
+
+
+class TestOperationalViews:
+    def test_counts_cover_every_state(self, store):
+        assert store.counts() == {state: 0 for state in JOB_STATES}
+        done = store.submit(_problem_json())
+        store.submit(_problem_json())
+        store.claim(1)
+        store.complete(done.id, result_json="{}")
+        counts = store.counts()
+        assert counts["done"] == 1
+        assert counts["queued"] == 1
+
+    def test_pending_and_client_load(self, store):
+        store.submit(_problem_json(), client_id="alice")
+        store.submit(_problem_json(), client_id="alice")
+        store.submit(_problem_json(), client_id="bob")
+        assert store.pending_count() == 3
+        assert store.client_load("alice") == 2
+        assert store.client_load("ghost") == 0
+
+    def test_oldest_queued_age(self, store):
+        assert store.oldest_queued_age() is None
+        record = store.submit(_problem_json())
+        age = store.oldest_queued_age(now=record.submitted_at + 7.5)
+        assert age == pytest.approx(7.5)
+
+
+class TestConcurrency:
+    def test_concurrent_claims_never_double_assign(self, store):
+        ids = {store.submit(_problem_json()).id for _ in range(40)}
+        claimed = []
+        lock = threading.Lock()
+
+        def worker():
+            while True:
+                batch = store.claim(3)
+                if not batch:
+                    return
+                with lock:
+                    claimed.extend(r.id for r in batch)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sorted(claimed) == sorted(ids)
+        assert len(set(claimed)) == len(ids)
+
+
+class TestJobRecordCodec:
+    def test_round_trips_through_facade_json(self, store):
+        record = store.submit(_problem_json(), client_id="alice", priority=2)
+        store.claim(1)
+        # Canonical compact text, as the daemon's to_json write-back produces:
+        # the codec re-canonicalizes embedded payloads on decode.
+        store.complete(record.id, result_json='{"ok":1}')
+        final = store.get(record.id)
+        assert isinstance(from_json(to_json(final)), JobRecord)
+        assert from_json(to_json(final)) == final
+
+    def test_terminal_states_constant(self):
+        assert TERMINAL_STATES == {"done", "error", "cancelled"}
+        assert TERMINAL_STATES < set(JOB_STATES)
