@@ -60,6 +60,13 @@ from .solvers import (
     solve_cache_stats,
 )
 from .batch import solve_batch
+from .decomposition import (
+    configure_decomposition,
+    decomposition_config,
+    decomposition_stats,
+    reset_decomposition_stats,
+    try_decomposed_solve,
+)
 from .serialization import from_dict, from_json, register_codec, to_dict, to_json
 
 __all__ = [
@@ -85,6 +92,12 @@ __all__ = [
     "clear_solve_cache",
     "solve_cache_bypass",
     "solve_cache_stats",
+    # decomposed solving
+    "configure_decomposition",
+    "decomposition_config",
+    "decomposition_stats",
+    "reset_decomposition_stats",
+    "try_decomposed_solve",
     # JSON round-trip
     "to_dict",
     "from_dict",

@@ -61,6 +61,7 @@ from ..core.power_approx import approximate_power_schedule
 from ..core.schedule import Schedule
 from ..core.throughput import greedy_throughput_schedule
 from ..runtime.diskcache import get_disk_cache
+from .decomposition import try_decomposed_solve
 from .problem import Problem
 from .registry import register_solver
 from .result import SolveResult
@@ -206,9 +207,14 @@ def _cached_exact_solve(
     ``solve_fresh()`` runs the underlying solver and returns
     ``(feasible, value, schedule, times, engine_meta)`` with ``times`` the
     raw ``job -> execution time`` map of the schedule (ignored when
-    infeasible).  The cache stores a *copy* of the engine metadata (via
-    :func:`_replay_engine_meta`): the same dict is returned in the result's
-    ``extra``, and a caller mutating it must not poison later hits.
+    infeasible).  A sixth element, when present, is a ``cacheable`` flag:
+    a decomposed solve whose merged schedule uses Hall-clipped execution
+    times off the instance's candidate grid cannot be expressed in
+    canonical coordinates and is returned without being stored.  The
+    cache stores a *copy* of the engine metadata (via
+    :func:`_replay_engine_meta`): the same dict is returned in the
+    result's ``extra``, and a caller mutating it must not poison later
+    hits.
     """
     global _FRESH_SOLVES
     form, cached = _lookup_canonical(objective_key, problem.instance)
@@ -216,13 +222,16 @@ def _cached_exact_solve(
         return _replay_hit(problem, form, cached, extra_base)
     with _FRESH_LOCK:
         _FRESH_SOLVES += 1
-    feasible, value, schedule, times, engine_meta = solve_fresh()
+    fresh = solve_fresh()
+    feasible, value, schedule, times, engine_meta = fresh[:5]
+    cacheable = fresh[5] if len(fresh) > 5 else True
     if not feasible:
         _store_canonical(objective_key, form, False, None, None)
         return _infeasible(problem)
-    _store_canonical(
-        objective_key, form, True, value, times, _replay_engine_meta(engine_meta)
-    )
+    if cacheable:
+        _store_canonical(
+            objective_key, form, True, value, times, _replay_engine_meta(engine_meta)
+        )
     return SolveResult(
         status="optimal",
         objective=problem.objective,
@@ -387,6 +396,9 @@ def _solve_gap_dp(problem: Problem) -> SolveResult:
     if isinstance(instance, OneIntervalInstance):
 
         def solve_fresh():
+            decomposed = try_decomposed_solve(problem)
+            if decomposed is not None:
+                return decomposed
             single = minimize_gaps_single_processor(instance)
             if not single.feasible:
                 return False, None, None, None, None
@@ -401,6 +413,9 @@ def _solve_gap_dp(problem: Problem) -> SolveResult:
         return _cached_exact_solve(problem, ("gaps",), {"exact": True}, solve_fresh)
 
     def solve_fresh():
+        decomposed = try_decomposed_solve(problem)
+        if decomposed is not None:
+            return decomposed
         solver = MultiprocessorGapSolver(instance)
         solution = solver.solve()
         if not solution.feasible:
@@ -436,6 +451,9 @@ def _solve_power_dp(problem: Problem) -> SolveResult:
     if isinstance(instance, OneIntervalInstance):
 
         def solve_fresh():
+            decomposed = try_decomposed_solve(problem)
+            if decomposed is not None:
+                return decomposed
             single = minimize_power_single_processor(instance, alpha=alpha)
             if not single.feasible:
                 return False, None, None, None, None
@@ -452,6 +470,9 @@ def _solve_power_dp(problem: Problem) -> SolveResult:
         )
 
     def solve_fresh():
+        decomposed = try_decomposed_solve(problem)
+        if decomposed is not None:
+            return decomposed
         solver = MultiprocessorPowerSolver(instance, alpha=alpha)
         solution = solver.solve()
         if not solution.feasible:

@@ -38,9 +38,10 @@ Sub-commands
     schema without re-running anything, ``--compare PATH`` gates the
     fresh run against a committed report — or, when PATH is a
     ``HISTORY.jsonl`` file, against its latest entry — (exit 1 on a
-    >1.25x regression of any shared case above the noise floor), and
-    ``--append HISTORY.jsonl`` records the run as one timestamped
-    history line for trend tracking.
+    >1.25x regression of any shared case above the noise floor),
+    ``--median-window K`` steadies the history gate with per-case rolling
+    medians over the last K entries, and ``--append HISTORY.jsonl``
+    records the run as one timestamped history line for trend tracking.
 ``cache``
     Inspect (``cache stats``) or empty (``cache clear``) the on-disk tier
     of the canonical solve cache.
@@ -317,6 +318,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="append the run to this JSONL history file (one timestamped "
         "line per run; --compare accepts the same file and gates against "
         "its latest entry)",
+    )
+    bench.add_argument(
+        "--median-window",
+        type=int,
+        metavar="K",
+        help="with --compare HISTORY: gate against per-case rolling medians "
+        "of the last K same-schema history entries instead of the single "
+        "latest entry (steadies the gate against one-off fast runs)",
     )
 
     serve = sub.add_parser(
@@ -818,6 +827,7 @@ def _dispatch(argv: Optional[Sequence[str]] = None) -> int:
             append_history,
             compare_reports,
             load_comparison_report,
+            rolling_median_reference,
             run_bench,
             validate_report_file,
             write_report,
@@ -833,6 +843,7 @@ def _dispatch(argv: Optional[Sequence[str]] = None) -> int:
                     ("--compare", args.compare),
                     ("--threshold", args.threshold),
                     ("--append", args.append),
+                    ("--median-window", args.median_window),
                 ]
                 if value is not None
             ]
@@ -857,6 +868,10 @@ def _dispatch(argv: Optional[Sequence[str]] = None) -> int:
             parser.error("--threshold is only meaningful with --compare")
         if args.threshold is not None and args.threshold <= 0:
             parser.error("--threshold must be positive")
+        if args.median_window is not None and args.compare is None:
+            parser.error("--median-window is only meaningful with --compare")
+        if args.median_window is not None and args.median_window < 1:
+            parser.error("--median-window must be >= 1")
 
         def _print_case(record) -> None:
             engine_ms = record["engine"]["median"] * 1000.0
@@ -867,6 +882,12 @@ def _dispatch(argv: Optional[Sequence[str]] = None) -> int:
             if record["baseline"] is not None:
                 base_ms = record["baseline"]["median"] * 1000.0
                 line += f"   seed {base_ms:>9.2f} ms (speedup {record['speedup']:.2f}x)"
+            if record["decomposed"] is not None:
+                dec_ms = record["decomposed"]["median"] * 1000.0
+                line += (
+                    f"   decomp {dec_ms:>9.2f} ms "
+                    f"({record['speedup_vs_mono']:.2f}x vs mono)"
+                )
             print(line)
 
         if args.repeats is not None and args.repeats < 1:
@@ -886,8 +907,25 @@ def _dispatch(argv: Optional[Sequence[str]] = None) -> int:
                 parser.error(f"cannot read report {args.compare!r}: {exc}")
             except (BenchSchemaError, ValueError, KeyError) as exc:
                 parser.error(f"--compare report {args.compare!r}: {exc}")
+            if args.median_window is not None and compare_source != "history":
+                parser.error(
+                    "--median-window needs --compare to name a history file, "
+                    f"not a plain report ({args.compare!r})"
+                )
             if compare_source == "history":
-                compare_label = f"{args.compare} (latest history entry)"
+                if args.median_window is not None:
+                    try:
+                        committed, entries_used = rolling_median_reference(
+                            args.compare, args.median_window
+                        )
+                    except (BenchSchemaError, ValueError) as exc:
+                        parser.error(f"--median-window on {args.compare!r}: {exc}")
+                    compare_label = (
+                        f"{args.compare} (rolling median of last "
+                        f"{entries_used} entries)"
+                    )
+                else:
+                    compare_label = f"{args.compare} (latest history entry)"
         out = args.out
         if out is None:
             out = "BENCH_smoke.json" if args.quick else "BENCH_dp.json"

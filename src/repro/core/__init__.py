@@ -37,6 +37,12 @@ from .baptiste import (
     minimize_gaps_single_processor,
     minimize_power_single_processor,
 )
+from .decompose import (
+    Component,
+    Decomposition,
+    clip_windows,
+    decompose_instance,
+)
 from .interval_dp import (
     ENGINE_CHOICES,
     ENGINE_NAME,
@@ -84,6 +90,10 @@ __all__ = [
     "BaptistePowerResult",
     "minimize_gaps_single_processor",
     "minimize_power_single_processor",
+    "Component",
+    "Decomposition",
+    "clip_windows",
+    "decompose_instance",
     "ENGINE_NAME",
     "ENGINE_VERSION",
     "ENGINE_CHOICES",

@@ -201,6 +201,7 @@ class CanonicalSolveCache:
         self._entries: "OrderedDict" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.disabled_gets = 0
         self._lock = threading.RLock()
 
     def __len__(self) -> int:
@@ -208,10 +209,15 @@ class CanonicalSolveCache:
             return len(self._entries)
 
     def get(self, key):
-        """Return the cached value for ``key``, or ``None`` on a miss."""
+        """Return the cached value for ``key``, or ``None`` on a miss.
+
+        Lookups while the cache is disabled count as ``disabled_gets``,
+        not misses — a disabled cache has no hit rate, and folding these
+        into ``misses`` would report a fake 0% to every stats surface.
+        """
         with self._lock:
             if self.maxsize <= 0:
-                self.misses += 1
+                self.disabled_gets += 1
                 return None
             entry = self._entries.get(key)
             if entry is None:
@@ -249,18 +255,20 @@ class CanonicalSolveCache:
                 self._entries.popitem(last=False)
 
     def clear(self) -> None:
-        """Drop every entry and reset the hit/miss counters."""
+        """Drop every entry and reset the hit/miss/disabled counters."""
         with self._lock:
             self._entries.clear()
             self.hits = 0
             self.misses = 0
+            self.disabled_gets = 0
 
     def stats(self) -> Dict[str, int]:
-        """JSON-native snapshot: size, capacity, hits, misses."""
+        """JSON-native snapshot: size, capacity, hits, misses, disabled gets."""
         with self._lock:
             return {
                 "size": len(self._entries),
                 "maxsize": self.maxsize,
                 "hits": self.hits,
                 "misses": self.misses,
+                "disabled_gets": self.disabled_gets,
             }

@@ -20,6 +20,7 @@ synthetic instances produced here.  Three families are provided:
 from .fuzzers import (
     clustered_release_instance,
     hall_violating_instance,
+    splittable_instance,
     tight_window_instance,
 )
 from .random_jobs import (
@@ -45,4 +46,5 @@ __all__ = [
     "tight_window_instance",
     "clustered_release_instance",
     "hall_violating_instance",
+    "splittable_instance",
 ]

@@ -33,6 +33,7 @@ __all__ = [
     "tight_window_instance",
     "clustered_release_instance",
     "hall_violating_instance",
+    "splittable_instance",
 ]
 
 InstanceOut = Union[OneIntervalInstance, MultiprocessorInstance]
@@ -97,6 +98,75 @@ def clustered_release_instance(
         release = min(horizon - 1, base + rng.randint(0, 1))
         deadline = min(horizon - 1, release + rng.randint(1, max_slack))
         jobs.append(Job(release=release, deadline=deadline, name=f"burst{i}"))
+    return _wrap(jobs, num_processors)
+
+
+def splittable_instance(
+    num_jobs: int,
+    num_clusters: int = 4,
+    cluster_horizon: int = 20,
+    seam: int = 8,
+    max_slack: int = 6,
+    seed: Optional[int] = None,
+    num_processors: Optional[int] = None,
+    periodic: bool = False,
+) -> InstanceOut:
+    """Time-disjoint clusters of jobs separated by guaranteed idle seams.
+
+    Jobs are dealt round-robin into ``num_clusters`` clusters; cluster
+    ``k`` occupies ``[k * (cluster_horizon + seam), ...]`` and every window
+    stays strictly inside its cluster's ``cluster_horizon`` span, so
+    consecutive clusters are separated by at least ``seam`` integer times
+    that no window covers.  This is the best case for
+    :mod:`repro.core.decompose` — the instance falls apart into
+    ``num_clusters`` independent sub-instances — and the worst case for
+    the monolithic DP, whose tables still span the whole horizon.  Use
+    ``seam >= alpha`` (and ``seam >= 1`` for gaps) to keep decomposition
+    applicable for the objective under test.
+
+    With ``periodic=True`` every cluster is the *same* window pattern
+    shifted by ``cluster_horizon + seam`` — the workload shape of a
+    repeating daily/shift schedule.  The clusters are then canonically
+    isomorphic (canonicalization is shift-invariant), so a decomposed
+    solve runs one component DP and answers the rest from the solve
+    cache.  Requires ``num_jobs`` divisible by ``num_clusters``.
+    """
+    if num_jobs < 0 or num_clusters < 1 or cluster_horizon < 2:
+        raise InvalidInstanceError(
+            "need num_jobs >= 0, num_clusters >= 1 and cluster_horizon >= 2"
+        )
+    if seam < 1 or max_slack < 1:
+        raise InvalidInstanceError("need seam >= 1 and max_slack >= 1")
+    if periodic and num_jobs % num_clusters:
+        raise InvalidInstanceError(
+            "periodic=True needs num_jobs divisible by num_clusters"
+        )
+    rng = _rng(seed)
+    jobs: List[Job] = []
+    if periodic:
+        pattern = []
+        for _ in range(num_jobs // num_clusters):
+            release = rng.randrange(cluster_horizon - 1)
+            deadline = min(cluster_horizon - 1, release + rng.randint(1, max_slack))
+            pattern.append((release, deadline))
+        for k in range(num_clusters):
+            base = k * (cluster_horizon + seam)
+            for i, (release, deadline) in enumerate(pattern):
+                jobs.append(
+                    Job(
+                        release=base + release,
+                        deadline=base + deadline,
+                        name=f"split{k}_{i}",
+                    )
+                )
+        return _wrap(jobs, num_processors)
+    for i in range(num_jobs):
+        base = (i % num_clusters) * (cluster_horizon + seam)
+        release = base + rng.randrange(cluster_horizon - 1)
+        deadline = min(
+            base + cluster_horizon - 1, release + rng.randint(1, max_slack)
+        )
+        jobs.append(Job(release=release, deadline=deadline, name=f"split{i}"))
     return _wrap(jobs, num_processors)
 
 

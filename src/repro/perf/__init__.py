@@ -17,6 +17,7 @@ from .history import (
     latest_history_report,
     load_comparison_report,
     read_history,
+    rolling_median_reference,
 )
 from .report import (
     BENCH_SCHEMA,
@@ -41,6 +42,7 @@ __all__ = [
     "append_history",
     "read_history",
     "latest_history_report",
+    "rolling_median_reference",
     "load_comparison_report",
     "compare_reports",
     "DEFAULT_REGRESSION_THRESHOLD",

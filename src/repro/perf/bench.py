@@ -32,6 +32,7 @@ from ..core.interval_dp import ENGINE_NAME, ENGINE_VERSION
 from ..generators import (
     clustered_release_instance,
     random_multiprocessor_instance,
+    splittable_instance,
     tight_window_instance,
 )
 from .report import BENCH_SCHEMA, environment_fingerprint
@@ -50,13 +51,20 @@ class BenchCase:
 
     name: str
     objective: str  # "gaps" | "power"
-    family: str  # "uniform" | "tight" | "clustered" | "sparse-wide"
+    family: str  # "uniform" | "tight" | "clustered" | "sparse-wide" | "splittable"
     num_jobs: int
     num_processors: int
-    horizon: int
+    horizon: int  # splittable: per-cluster horizon
     alpha: Optional[float] = None
     window: int = 4  # sparse-wide only: per-job window length
     seed_baseline: bool = True  # time the frozen seed solver on this case
+    v1_baseline: bool = True  # time the v1 trampoline engine on this case
+    clusters: int = 4  # splittable only: number of time-disjoint clusters
+    seam: int = 8  # splittable only: idle integers between clusters
+    slack: int = 6  # splittable only: max window slack inside a cluster
+    periodic: bool = False  # splittable only: identical (shifted) clusters
+    decompose: bool = False  # also time the decomposed facade solve
+    decompose_backend: Optional[str] = None  # component backend (None: default chain)
 
     def make_instance(self, seed: int) -> MultiprocessorInstance:
         """Build the case's instance deterministically from ``seed``."""
@@ -82,6 +90,17 @@ class BenchCase:
                 seed=seed,
                 num_processors=self.num_processors,
             )
+        if self.family == "splittable":
+            return splittable_instance(
+                num_jobs=self.num_jobs,
+                num_clusters=self.clusters,
+                cluster_horizon=self.horizon,
+                seam=self.seam,
+                max_slack=self.slack,
+                seed=seed,
+                num_processors=self.num_processors,
+                periodic=self.periodic,
+            )
         if self.family == "sparse-wide":
             # Long-horizon staircase: sparse releases, overlapping windows.
             # This is the family that drove the seed solvers deepest into the
@@ -103,6 +122,21 @@ def default_cases(quick: bool = False) -> List[BenchCase]:
         BenchCase("gap/tight-n20-p2", "gaps", "tight", 20, 2, 16),
         BenchCase("power/uniform-n16-p2-a2", "power", "uniform", 16, 2, 18, alpha=2.0),
         BenchCase("gap/baptiste-n30-p1", "gaps", "uniform", 30, 1, 40),
+        # Smoke coverage for the decomposition path: small clusters, serial
+        # components (stable on shared CI runners), value-agreement asserted
+        # between the decomposed facade solve and the monolithic engine.
+        BenchCase(
+            "gap/splittable-n24-p2",
+            "gaps",
+            "splittable",
+            24,
+            2,
+            12,
+            seed_baseline=False,
+            clusters=3,
+            seam=6,
+            decompose=True,
+        ),
     ]
     if quick:
         return cases
@@ -138,6 +172,47 @@ def default_cases(quick: bool = False) -> List[BenchCase]:
             alpha=2.0,
             seed_baseline=False,
         ),
+        # Decomposition headline cases: three *identical* (time-shifted)
+        # clusters of 30 wide-window jobs — the repeating-shift workload —
+        # with process-backend component solves.  These skip the seed and
+        # v1 columns; the column of interest is decomposed-vs-monolithic-v2
+        # (``speedup_vs_mono``).  The decomposed win here is algorithmic,
+        # not parallelism: the clusters are canonically isomorphic, so one
+        # component DP runs and the rest replay from the solve cache (see
+        # ``_time_decomposed`` for the cold-cache timing discipline) — the
+        # speedup therefore holds even on a single-core CI runner, and
+        # extra cores only widen it.
+        BenchCase(
+            "gap/splittable-periodic-n90-p3",
+            "gaps",
+            "splittable",
+            90,
+            3,
+            20,
+            seed_baseline=False,
+            v1_baseline=False,
+            clusters=3,
+            slack=14,
+            periodic=True,
+            decompose=True,
+            decompose_backend="process",
+        ),
+        BenchCase(
+            "power/splittable-periodic-n90-p3-a2",
+            "power",
+            "splittable",
+            90,
+            3,
+            20,
+            alpha=2.0,
+            seed_baseline=False,
+            v1_baseline=False,
+            clusters=3,
+            slack=14,
+            periodic=True,
+            decompose=True,
+            decompose_backend="process",
+        ),
     ]
     return cases
 
@@ -172,6 +247,74 @@ def _engine_solve(case: BenchCase, instance, engine: str = "v2"):
         solution = solver.solve()
         value = solution.power
     return solution.feasible, value, solver.engine.stats.as_dict()
+
+
+def _decomposed_solve(case: BenchCase, instance):
+    """Solve through the façade with decomposition on; (feasible, value, extra)."""
+    from ..api.problem import Problem
+    from ..api.registry import solve
+
+    if case.objective == "gaps":
+        problem = Problem(objective="gaps", instance=instance)
+        solver = "gap-dp"
+    else:
+        problem = Problem(objective="power", instance=instance, alpha=case.alpha)
+        solver = "power-dp"
+    result = solve(problem, solver=solver)
+    return result.status != "infeasible", result.value, result.extra
+
+
+def _time_decomposed(
+    case: BenchCase, instance, repeats: int, warmup: int
+) -> Tuple[Dict[str, object], Tuple[bool, object]]:
+    """Time the decomposed façade solve from a cold canonical cache.
+
+    Each timed run clears the in-memory solve cache first (a dict clear,
+    nanoseconds against the millisecond DPs) and runs with the disk tier
+    off, so no run ever answers from a previous run's work: every repeat
+    re-detects the split and pays for its own component DPs end-to-end.
+    *Within* one run the memory cache stays live, because per-component
+    cache traffic is the product feature being measured — on periodic
+    instances the isomorphic clusters collapse onto one component solve,
+    which is how the decomposed column beats the monolith even on a
+    single-core runner.  The solve-cache, disk-cache and decomposition
+    configurations are snapshotted and restored so a bench sweep leaves
+    the process exactly as it found it.
+    """
+    from ..api.decomposition import configure_decomposition, decomposition_config
+    from ..api.solvers import clear_solve_cache, configure_solve_cache, solve_cache_stats
+    from ..runtime.diskcache import configure_disk_cache, disk_cache_dir
+
+    saved_decomp = decomposition_config()
+    saved_maxsize = solve_cache_stats()["maxsize"]
+    saved_disk = disk_cache_dir()
+
+    def cold_solve():
+        clear_solve_cache()
+        return _decomposed_solve(case, instance)
+
+    try:
+        configure_solve_cache(max(saved_maxsize, 256))
+        if saved_disk is not None:
+            configure_disk_cache(None)
+        configure_decomposition(
+            enabled=True, min_jobs=2, backend=case.decompose_backend
+        )
+        feasible, value, extra = cold_solve()
+        engine_meta = (extra or {}).get("engine") or {}
+        if feasible and "decomposition" not in engine_meta:
+            raise AssertionError(
+                f"bench case {case.name}: decomposed solve did not take the "
+                "decomposition path (no 'decomposition' block in engine meta)"
+            )
+        timing = time_callable(cold_solve, repeats, warmup)
+    finally:
+        configure_decomposition(**saved_decomp)
+        configure_solve_cache(saved_maxsize)
+        clear_solve_cache()
+        if saved_disk is not None:
+            configure_disk_cache(saved_disk)
+    return timing, (feasible, value)
 
 
 def _baseline_solve(case: BenchCase, instance):
@@ -213,7 +356,7 @@ def _run_case(payload: Tuple) -> Dict:
     )
     v1_timing = None
     speedup_vs_v1 = None
-    if compare_v1:
+    if compare_v1 and case.v1_baseline:
         v1_feasible, v1_value, _v1_stats = _engine_solve(case, instance, engine="v1")
         _assert_agreement(case, "engine v1", feasible, value, (v1_feasible, v1_value))
         v1_timing = time_callable(
@@ -230,6 +373,16 @@ def _run_case(payload: Tuple) -> Dict:
             lambda: _baseline_solve(case, instance), repeats, warmup
         )
         speedup = baseline_timing["median"] / max(engine_timing["median"], 1e-12)
+    decomposed_timing = None
+    speedup_vs_mono = None
+    if case.decompose:
+        decomposed_timing, decomposed_answer = _time_decomposed(
+            case, instance, repeats, warmup
+        )
+        _assert_agreement(case, "decomposed solve", feasible, value, decomposed_answer)
+        speedup_vs_mono = engine_timing["median"] / max(
+            decomposed_timing["median"], 1e-12
+        )
     return {
         "name": case.name,
         "objective": case.objective,
@@ -243,6 +396,8 @@ def _run_case(payload: Tuple) -> Dict:
         "baseline": baseline_timing,
         "speedup": speedup,
         "speedup_vs_v1": speedup_vs_v1,
+        "decomposed": decomposed_timing,
+        "speedup_vs_mono": speedup_vs_mono,
         "engine_stats": stats,
     }
 

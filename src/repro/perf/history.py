@@ -19,22 +19,27 @@ The regression gate composes with this: ``--compare`` accepts either a
 plain report file or a history file, gating against the **latest** history
 entry — so a repo that appends on every PR gets "no worse than the
 previous PR" for free (:func:`load_comparison_report` does the
-dispatching).
+dispatching).  ``--median-window K`` swaps the single-entry reference for
+:func:`rolling_median_reference`, which synthesizes per-case timings from
+the medians of the last ``K`` same-schema entries — one anomalously fast
+blessed run can no longer ratchet the gate into permanent failure.
 """
 
 from __future__ import annotations
 
 import json
+import statistics
 from datetime import datetime, timezone
 from typing import Dict, List, Optional, Tuple
 
-from .report import BenchSchemaError, validate_report
+from .report import BENCH_SCHEMA, BenchSchemaError, validate_report
 
 __all__ = [
     "HISTORY_SCHEMA",
     "append_history",
     "read_history",
     "latest_history_report",
+    "rolling_median_reference",
     "load_comparison_report",
 ]
 
@@ -103,6 +108,81 @@ def latest_history_report(path: str) -> Dict:
     report = entries[-1]["report"]
     validate_report(report)
     return report
+
+
+def _median_timing(blocks: List[Dict]) -> Dict:
+    # The synthesized block is a legal timing block (validate_report checks
+    # it like any other); ``runs`` carries the single synthesized median,
+    # since per-run samples from different benchmark runs are not
+    # meaningfully poolable.
+    median = statistics.median(b["median"] for b in blocks)
+    return {
+        "best": statistics.median(b["best"] for b in blocks),
+        "median": median,
+        "mean": statistics.median(b["mean"] for b in blocks),
+        "runs": [median],
+    }
+
+
+def rolling_median_reference(path: str, window: int) -> Tuple[Dict, int]:
+    """Synthesize a comparison reference from the last ``window`` entries.
+
+    Gating against the single latest history entry makes the gate as noisy
+    as that one run: one anomalously *fast* blessed run tightens the bar
+    for every later PR.  This builds a steadier reference: among the last
+    ``window`` history entries whose embedded report matches the current
+    ``BENCH_SCHEMA`` (older-schema entries are skipped, never coerced), each
+    case present in the newest such report gets timing blocks whose
+    best/median/mean are the **medians** of the corresponding fields across
+    the entries that measured that case, and its speedup columns are
+    recomputed from the synthesized blocks.  Cases (or optional columns)
+    that only the newest report carries keep the newest report's numbers.
+
+    Returns ``(report, entries_used)``; the report passes
+    :func:`~repro.perf.report.validate_report`.
+    """
+    if window < 1:
+        raise ValueError(f"median window must be >= 1, got {window}")
+    entries = read_history(path)
+    reports = [
+        entry["report"]
+        for entry in entries
+        if entry["report"].get("schema") == BENCH_SCHEMA
+    ]
+    if not reports:
+        raise BenchSchemaError(
+            f"{path}: no history entries with schema {BENCH_SCHEMA!r}"
+        )
+    tail = reports[-window:]
+    for report in tail:
+        validate_report(report)
+    latest = tail[-1]
+    if len(tail) == 1:
+        return latest, 1
+    synthesized: List[Dict] = []
+    for case in latest["cases"]:
+        siblings = [
+            c for report in tail for c in report["cases"] if c["name"] == case["name"]
+        ]
+        new_case = dict(case)
+        for key in ("engine", "engine_v1", "baseline", "decomposed"):
+            if case[key] is None:
+                continue  # the newest run dropped this column; keep it null
+            blocks = [c[key] for c in siblings if c[key] is not None]
+            new_case[key] = _median_timing(blocks)
+        engine_median = max(new_case["engine"]["median"], 1e-12)
+        if new_case["baseline"] is not None:
+            new_case["speedup"] = new_case["baseline"]["median"] / engine_median
+        if new_case["engine_v1"] is not None:
+            new_case["speedup_vs_v1"] = new_case["engine_v1"]["median"] / engine_median
+        if new_case["decomposed"] is not None:
+            new_case["speedup_vs_mono"] = engine_median / max(
+                new_case["decomposed"]["median"], 1e-12
+            )
+        synthesized.append(new_case)
+    reference = dict(latest, cases=synthesized)
+    validate_report(reference)
+    return reference, len(tail)
 
 
 def load_comparison_report(path: str) -> Tuple[Dict, str]:

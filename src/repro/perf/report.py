@@ -32,6 +32,9 @@ Per-case keys::
     baseline        timing block for the frozen seed solver (null if skipped)
     speedup         baseline median / engine median (null if baseline skipped)
     speedup_vs_v1   engine_v1 median / engine median (null if v1 skipped)
+    decomposed      timing block for the decomposed façade solve, caches off
+                    (null on cases without the decompose column)
+    speedup_vs_mono engine median / decomposed median (null if not measured)
     engine_stats    pruning/memo counters of one v2 engine run
 
 Timing blocks::
@@ -42,7 +45,11 @@ Schema history: ``bench-dp/v1`` (PR 3) measured the trampoline engine
 against the frozen seed solvers only; ``bench-dp/v2`` measures the
 bottom-up engine and adds the ``engine_v1`` / ``speedup_vs_v1`` comparison
 columns while keeping the seed-baseline column, so the committed report
-carries the full seed -> v1 -> v2 trajectory.
+carries the full seed -> v1 -> v2 trajectory; ``bench-dp/v3`` adds the
+``decomposed`` / ``speedup_vs_mono`` columns for the splittable families
+solved through :mod:`repro.core.decompose` (the regression gate still keys
+on the engine columns — decomposition speedups depend on core count and
+are reported, not gated).
 """
 
 from __future__ import annotations
@@ -64,7 +71,7 @@ __all__ = [
     "DEFAULT_REGRESSION_MIN_MEDIAN",
 ]
 
-BENCH_SCHEMA = "repro.perf/bench-dp/v2"
+BENCH_SCHEMA = "repro.perf/bench-dp/v3"
 
 #: A case regresses when its fresh engine median exceeds the committed
 #: median by more than this factor.
@@ -98,6 +105,8 @@ _CASE_KEYS = {
     "baseline",
     "speedup",
     "speedup_vs_v1",
+    "decomposed",
+    "speedup_vs_mono",
     "engine_stats",
 }
 _TIMING_KEYS = {"best", "median", "mean", "runs"}
@@ -207,6 +216,7 @@ def validate_report(data: Any) -> None:
         _check_timing(f"{label}.engine", case["engine"])
         _check_optional_comparison(label, case, "baseline", "speedup")
         _check_optional_comparison(label, case, "engine_v1", "speedup_vs_v1")
+        _check_optional_comparison(label, case, "decomposed", "speedup_vs_mono")
         if not isinstance(case["engine_stats"], dict):
             raise BenchSchemaError(f"{label}.engine_stats: must be an object")
         for key, value in case["engine_stats"].items():

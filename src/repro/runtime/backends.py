@@ -222,11 +222,22 @@ class ThreadBackend(Backend):
 
     name = "thread"
 
+    @property
+    def effective_workers(self) -> int:
+        # Match ThreadPoolExecutor's own default — min(32, cpu_count + 4) —
+        # rather than the base class's raw cpu_count, so the stream layer's
+        # in-flight window is sized from the real pool parallelism.  The
+        # pool is handed this number explicitly to keep the two in lock
+        # step even if the executor default drifts.
+        if self.workers is not None:
+            return self.workers
+        return min(32, (os.cpu_count() or 1) + 4)
+
     def session(self, fn: Callable, chunksize: int = 1) -> ExecutionSession:
         from concurrent.futures import ThreadPoolExecutor
 
         return _ExecutorSession(
-            fn, ThreadPoolExecutor(max_workers=self.workers), chunksize
+            fn, ThreadPoolExecutor(max_workers=self.effective_workers), chunksize
         )
 
 

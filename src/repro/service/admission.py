@@ -126,6 +126,10 @@ class AdmissionController:
                 if tokens < 1.0:
                     self._buckets[client_id] = (tokens, now)
                     self.denied[REASON_RATE] += 1
+                    # Denials record bucket state too, so a fleet of
+                    # clients that only ever gets denied would otherwise
+                    # grow the table without bound.
+                    self._prune(now)
                     retry_after = (1.0 - tokens) / self.rate
                     return AdmissionDecision(
                         allowed=False,

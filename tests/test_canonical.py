@@ -277,6 +277,23 @@ class TestSolveCacheBehavior:
         stats = solve_cache_stats()
         assert stats["hits"] == 0 and stats["size"] == 0
 
+    def test_disabled_lookups_count_as_disabled_gets_not_misses(self):
+        # Regression: a disabled cache has no hit rate, so its gets must
+        # not inflate ``misses`` (which would read as a fake 0% hit rate
+        # on every stats surface).
+        cache = CanonicalSolveCache(maxsize=0)
+        assert cache.get("key") is None
+        assert cache.get("key") is None
+        stats = cache.stats()
+        assert stats["disabled_gets"] == 2
+        assert stats["misses"] == 0 and stats["hits"] == 0
+        cache.configure(4)
+        assert cache.get("key") is None  # enabled again: a real miss
+        stats = cache.stats()
+        assert stats["misses"] == 1 and stats["disabled_gets"] == 2
+        cache.clear()
+        assert cache.stats()["disabled_gets"] == 0
+
 
 class TestCacheBounding:
     def test_lru_eviction_bounds_the_size(self):

@@ -1,0 +1,207 @@
+"""Tests for repro.core.decompose (split detection and Hall clipping).
+
+The facade-level orchestration (component solves, merge, caching) is
+covered by tests/test_api_decomposition.py; this file pins the pure
+structure: seam detection thresholds per objective, Hall-saturation
+clipping to a fixpoint, infeasibility proofs, and the degenerate empty /
+single-job shapes through both ``canonical_form`` and
+``decompose_instance``.
+"""
+
+import pytest
+
+from repro.core.canonical import canonical_form
+from repro.core.decompose import (
+    Component,
+    Decomposition,
+    clip_windows,
+    decompose_instance,
+)
+from repro.core.jobs import Job, MultiprocessorInstance, OneIntervalInstance
+
+
+def jobs_from_pairs(pairs):
+    return [Job(release=r, deadline=d, name=f"j{i}") for i, (r, d) in enumerate(pairs)]
+
+
+class TestSeamDetection:
+    def test_two_clusters_split_on_idle_seam(self):
+        jobs = jobs_from_pairs([(0, 2), (1, 3), (10, 12), (11, 13)])
+        decomp = decompose_instance(jobs, num_processors=1, min_seam=1.0)
+        assert decomp.is_split
+        assert len(decomp.components) == 2
+        assert decomp.seams == (6,)
+        assert decomp.components[0].job_indices == (0, 1)
+        assert decomp.components[1].job_indices == (2, 3)
+
+    def test_touching_clusters_do_not_split(self):
+        # Deadline 3 then release 4: seam length 0 < min_seam 1.
+        jobs = jobs_from_pairs([(0, 3), (4, 7)])
+        decomp = decompose_instance(jobs, num_processors=1, min_seam=1.0)
+        assert not decomp.is_split
+
+    def test_seam_exactly_min_seam_splits(self):
+        # Deadline 3, release 5: exactly one window-free time (t=4).
+        jobs = jobs_from_pairs([(0, 3), (5, 8)])
+        decomp = decompose_instance(jobs, num_processors=1, min_seam=1.0)
+        assert decomp.is_split
+        assert decomp.seams == (1,)
+
+    def test_power_seam_threshold_scales_with_alpha(self):
+        # Seam of 2 splits for alpha <= 2 but not for alpha = 3: a bridge
+        # of stretch 2 would cost min(2, 3) = 2 < alpha, cheaper than the
+        # second wake-up the per-component sum charges.
+        jobs = jobs_from_pairs([(0, 1), (4, 5)])
+        assert decompose_instance(jobs, 1, min_seam=2.0).is_split
+        assert not decompose_instance(jobs, 1, min_seam=3.0).is_split
+
+    def test_narrow_seam_power_counterexample_values(self):
+        # The reason the alpha threshold exists: two unit jobs at t=0 and
+        # t=2 with alpha=5.  Per-component sum would charge 2 wake-ups
+        # (2 * (1 + 5) = 12); the true optimum bridges the stretch-1 idle
+        # for 2 busy + 5 wake + min(1, 5) = 8.
+        from repro.api import Problem, solve
+
+        instance = OneIntervalInstance(
+            jobs=jobs_from_pairs([(0, 0), (2, 2)])
+        )
+        result = solve(Problem(objective="power", instance=instance, alpha=5.0))
+        assert result.value == pytest.approx(8.0)
+
+    def test_running_max_deadline_blocks_false_seams(self):
+        # Job 0 spans the would-be seam; sorting by release alone must not
+        # split [(0, 20)], [(5, 6)], [(12, 13)].
+        jobs = jobs_from_pairs([(0, 20), (5, 6), (12, 13)])
+        decomp = decompose_instance(jobs, num_processors=1, min_seam=1.0)
+        assert not decomp.is_split
+
+    def test_components_preserve_names_and_order(self):
+        jobs = [
+            Job(release=10, deadline=11, name="late"),
+            Job(release=0, deadline=1, name="early"),
+        ]
+        decomp = decompose_instance(jobs, num_processors=1, min_seam=1.0)
+        assert decomp.is_split
+        assert decomp.components[0].jobs[0].name == "early"
+        assert decomp.components[0].job_indices == (1,)
+        assert decomp.components[1].jobs[0].name == "late"
+        assert decomp.components[1].job_indices == (0,)
+
+    def test_multiprocessor_seams_use_the_same_rule(self):
+        jobs = jobs_from_pairs([(0, 1), (0, 1), (0, 1), (6, 7), (6, 7)])
+        decomp = decompose_instance(jobs, num_processors=3, min_seam=1.0)
+        assert decomp.is_split
+        assert [c.num_jobs for c in decomp.components] == [3, 2]
+
+    def test_bad_parameters_rejected(self):
+        jobs = jobs_from_pairs([(0, 1)])
+        with pytest.raises(ValueError):
+            decompose_instance(jobs, num_processors=0, min_seam=1.0)
+        with pytest.raises(ValueError):
+            decompose_instance(jobs, num_processors=1, min_seam=-0.5)
+
+
+class TestHallClipping:
+    def test_saturated_prefix_clips_overlapping_windows(self):
+        # Jobs 0-1 exactly fill [0, 1] on one processor; job 2's release
+        # clips from 0 to 2.
+        jobs = jobs_from_pairs([(0, 1), (0, 1), (0, 5)])
+        windows, infeasible, clipped = clip_windows(jobs, num_processors=1)
+        assert not infeasible
+        assert windows[2] == (2, 5)
+        assert clipped == 1
+
+    def test_saturated_suffix_clips_deadlines(self):
+        jobs = jobs_from_pairs([(4, 5), (4, 5), (0, 5)])
+        windows, infeasible, clipped = clip_windows(jobs, num_processors=1)
+        assert not infeasible
+        assert windows[2] == (0, 3)
+        assert clipped == 1
+
+    def test_overloaded_window_proves_infeasibility(self):
+        jobs = jobs_from_pairs([(0, 1), (0, 1), (0, 1)])
+        _windows, infeasible, _clipped = clip_windows(jobs, num_processors=1)
+        assert infeasible
+        decomp = decompose_instance(jobs, num_processors=1, min_seam=1.0)
+        assert decomp.infeasible
+        assert decomp.components == ()
+
+    def test_clipping_cascades_across_deadline_levels(self):
+        # [0, 1] x2 saturates, pushing jobs 2-3 to [2, 3]; that makes the
+        # anchored prefix [0, 3] exactly full (4 jobs, 4 slots), which in
+        # turn pushes job 4 past it — the cascade must propagate.
+        jobs = jobs_from_pairs([(0, 1), (0, 1), (0, 3), (0, 3), (0, 9)])
+        windows, infeasible, clipped = clip_windows(jobs, num_processors=1)
+        assert not infeasible
+        assert windows[2] == (2, 3)
+        assert windows[3] == (2, 3)
+        assert windows[4] == (4, 9)
+        assert clipped == 3
+
+    def test_clipping_can_invert_a_window_to_infeasibility(self):
+        # Jobs 0-1 saturate [0, 1] and jobs 3-4 saturate [2, 3]; job 2's
+        # window [0, 3] clips empty from both sides.
+        jobs = jobs_from_pairs([(0, 1), (0, 1), (0, 3), (2, 3), (2, 3)])
+        _windows, infeasible, _clipped = clip_windows(jobs, num_processors=1)
+        assert infeasible
+
+    def test_multiprocessor_capacity_respected(self):
+        # Three unit-window jobs on two processors at [0, 1]: 3 < 2*2 = 4
+        # slots, nothing saturates, nothing clips.
+        jobs = jobs_from_pairs([(0, 1), (0, 1), (0, 1), (0, 5)])
+        windows, infeasible, clipped = clip_windows(jobs, num_processors=2)
+        assert not infeasible
+        assert clipped == 0
+        assert windows[3] == (0, 5)
+
+    def test_clipped_windows_feed_component_bounds(self):
+        # After clipping, job 2 lives in [2, 5]; no seam opens (the clip
+        # lands adjacent to the saturated prefix) but the component carries
+        # the tightened window.
+        jobs = jobs_from_pairs([(0, 1), (0, 1), (0, 5)])
+        decomp = decompose_instance(jobs, num_processors=1, min_seam=1.0)
+        assert not decomp.is_split
+        component = decomp.components[0]
+        assert component.jobs[2].release == 2
+        assert decomp.clipped_jobs == 1
+
+
+class TestDegenerateShapes:
+    def test_empty_instance_decomposes_to_nothing(self):
+        decomp = decompose_instance([], num_processors=2, min_seam=1.0)
+        assert decomp.components == ()
+        assert decomp.seams == ()
+        assert not decomp.infeasible
+        assert not decomp.is_split
+
+    def test_single_job_is_one_component(self):
+        decomp = decompose_instance(
+            jobs_from_pairs([(3, 7)]), num_processors=1, min_seam=1.0
+        )
+        assert not decomp.is_split
+        assert len(decomp.components) == 1
+        assert decomp.components[0].start == 3
+        assert decomp.components[0].end == 7
+
+    def test_empty_and_single_job_canonical_form_round_trip(self):
+        # The satellite checklist: the degenerate shapes flow through both
+        # canonicalization and decomposition without special-casing.
+        empty = MultiprocessorInstance(jobs=[], num_processors=2)
+        form = canonical_form(empty)
+        assert form.job_windows == ()
+        single = OneIntervalInstance(jobs=jobs_from_pairs([(2, 4)]))
+        form = canonical_form(single)
+        assert len(form.job_windows) == 1
+        decomp = decompose_instance(single.jobs, 1, min_seam=1.0)
+        assert len(decomp.components) == 1
+
+    def test_component_structures_are_frozen(self):
+        decomp = decompose_instance(
+            jobs_from_pairs([(0, 1), (5, 6)]), num_processors=1, min_seam=1.0
+        )
+        with pytest.raises(AttributeError):
+            decomp.components[0].start = 99  # type: ignore[misc]
+        with pytest.raises(AttributeError):
+            decomp.min_seam = 0.0  # type: ignore[misc]
+        assert isinstance(decomp, Decomposition)
+        assert isinstance(decomp.components[0], Component)

@@ -153,6 +153,44 @@ class TestStructuredFuzzers:
         instance = hall_violating_instance(num_jobs=4, horizon=6, seed=2, slack=0)
         assert instance.num_jobs >= 4
 
+    def test_splittable_clusters_are_seam_separated(self):
+        from repro.generators import splittable_instance
+
+        instance = splittable_instance(
+            num_jobs=12, num_clusters=3, cluster_horizon=6, seam=4, seed=2
+        )
+        spans = [(k * 10, k * 10 + 5) for k in range(3)]
+        for i, job in enumerate(instance.jobs):
+            lo, hi = spans[i % 3]
+            assert lo <= job.release <= job.deadline <= hi
+
+    def test_periodic_splittable_tiles_one_pattern(self):
+        from repro.generators import splittable_instance
+
+        instance = splittable_instance(
+            num_jobs=12,
+            num_clusters=3,
+            cluster_horizon=6,
+            seam=4,
+            seed=5,
+            periodic=True,
+        )
+        period = 6 + 4
+        windows = [(j.release, j.deadline) for j in instance.jobs]
+        pattern = windows[:4]
+        for k in range(3):
+            chunk = windows[4 * k : 4 * (k + 1)]
+            assert chunk == [(r + k * period, d + k * period) for r, d in pattern]
+
+    def test_periodic_splittable_requires_divisible_job_count(self):
+        import pytest
+
+        from repro.core.exceptions import InvalidInstanceError
+        from repro.generators import splittable_instance
+
+        with pytest.raises(InvalidInstanceError, match="divisible"):
+            splittable_instance(num_jobs=10, num_clusters=3, periodic=True)
+
     def test_generators_are_seed_deterministic(self):
         from repro.generators import (
             clustered_release_instance,

@@ -12,6 +12,8 @@ from repro.perf import (
     latest_history_report,
     load_comparison_report,
     read_history,
+    rolling_median_reference,
+    validate_report,
     write_report,
 )
 
@@ -45,6 +47,8 @@ def make_report(median=0.01, name="gap/test-n10-p1"):
                 "baseline": None,
                 "speedup": None,
                 "speedup_vs_v1": None,
+                "decomposed": None,
+                "speedup_vs_mono": None,
                 "engine_stats": {"states_computed": 5},
             }
         ],
@@ -122,6 +126,104 @@ class TestLatest:
         path.write_text("\n")
         with pytest.raises(BenchSchemaError, match="no entries"):
             latest_history_report(str(path))
+
+
+class TestRollingMedian:
+    def test_window_medians_each_timing_field(self, tmp_path):
+        path = str(tmp_path / "HISTORY.jsonl")
+        for ts, median in [("t1", 0.01), ("t2", 0.05), ("t3", 0.03)]:
+            append_history(make_report(median=median), path, timestamp=ts)
+        reference, used = rolling_median_reference(path, 3)
+        assert used == 3
+        validate_report(reference)
+        block = reference["cases"][0]["engine"]
+        assert block["median"] == pytest.approx(0.03)
+        assert block["best"] == pytest.approx(0.03)
+        assert block["runs"] == [pytest.approx(0.03)]
+
+    def test_window_larger_than_history_uses_everything(self, tmp_path):
+        path = str(tmp_path / "HISTORY.jsonl")
+        append_history(make_report(median=0.01), path, timestamp="t1")
+        append_history(make_report(median=0.09), path, timestamp="t2")
+        reference, used = rolling_median_reference(path, 50)
+        assert used == 2
+        # Even-count median of [0.01, 0.09].
+        assert reference["cases"][0]["engine"]["median"] == pytest.approx(0.05)
+
+    def test_window_of_one_is_the_latest_entry(self, tmp_path):
+        path = str(tmp_path / "HISTORY.jsonl")
+        append_history(make_report(median=0.01), path, timestamp="t1")
+        append_history(make_report(median=0.07), path, timestamp="t2")
+        reference, used = rolling_median_reference(path, 1)
+        assert used == 1
+        assert reference["cases"][0]["engine"]["median"] == 0.07
+
+    def test_older_schema_entries_are_skipped(self, tmp_path):
+        path = tmp_path / "HISTORY.jsonl"
+        old = make_report(median=1.0)
+        old["schema"] = "repro.perf/bench-dp/v2"
+        entry = {
+            "schema": HISTORY_SCHEMA,
+            "timestamp": "t0",
+            "engine_version": "v2",
+            "quick": True,
+            "cases": 1,
+            "report": old,
+        }
+        path.write_text(json.dumps(entry) + "\n")
+        append_history(make_report(median=0.02), str(path), timestamp="t1")
+        reference, used = rolling_median_reference(str(path), 10)
+        assert used == 1  # the v2-schema entry must not be coerced in
+        assert reference["cases"][0]["engine"]["median"] == 0.02
+
+    def test_no_current_schema_entries_raises(self, tmp_path):
+        path = tmp_path / "HISTORY.jsonl"
+        old = make_report()
+        old["schema"] = "repro.perf/bench-dp/v2"
+        entry = {
+            "schema": HISTORY_SCHEMA,
+            "timestamp": "t0",
+            "engine_version": "v2",
+            "quick": True,
+            "cases": 1,
+            "report": old,
+        }
+        path.write_text(json.dumps(entry) + "\n")
+        with pytest.raises(BenchSchemaError, match="no history entries"):
+            rolling_median_reference(str(path), 3)
+
+    def test_case_only_in_latest_keeps_its_numbers(self, tmp_path):
+        path = str(tmp_path / "HISTORY.jsonl")
+        append_history(make_report(median=0.01), path, timestamp="t1")
+        newer = make_report(median=0.02)
+        newer["cases"].append(
+            dict(make_report(median=0.08, name="gap/new-case")["cases"][0])
+        )
+        append_history(newer, path, timestamp="t2")
+        reference, _used = rolling_median_reference(path, 5)
+        by_name = {case["name"]: case for case in reference["cases"]}
+        assert by_name["gap/new-case"]["engine"]["median"] == 0.08
+
+    def test_speedups_recomputed_from_synthesized_blocks(self, tmp_path):
+        path = str(tmp_path / "HISTORY.jsonl")
+        for ts, engine, v1 in [("t1", 0.01, 0.04), ("t2", 0.03, 0.03), ("t3", 0.02, 0.08)]:
+            report = make_report(median=engine)
+            case = report["cases"][0]
+            case["engine_v1"] = {"best": v1, "median": v1, "mean": v1, "runs": [v1]}
+            case["speedup_vs_v1"] = v1 / engine
+            append_history(report, path, timestamp=ts)
+        reference, _used = rolling_median_reference(path, 3)
+        case = reference["cases"][0]
+        # median(engine) = 0.02, median(v1) = 0.04, ratio recomputed.
+        assert case["engine"]["median"] == pytest.approx(0.02)
+        assert case["engine_v1"]["median"] == pytest.approx(0.04)
+        assert case["speedup_vs_v1"] == pytest.approx(2.0)
+
+    def test_bad_window_rejected(self, tmp_path):
+        path = str(tmp_path / "HISTORY.jsonl")
+        append_history(make_report(), path, timestamp="t1")
+        with pytest.raises(ValueError, match="window"):
+            rolling_median_reference(path, 0)
 
 
 class TestLoadComparisonReport:

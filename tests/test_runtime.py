@@ -153,6 +153,34 @@ class TestBackendSelection:
         assert isinstance(resolve_backend("serial"), SerialBackend)
 
 
+class TestThreadBackendSizing:
+    """Regression: effective_workers must equal the real pool size.
+
+    ThreadBackend used to inherit the base class's raw ``cpu_count``
+    while ``ThreadPoolExecutor`` defaulted to ``min(32, cpu_count + 4)``,
+    so the stream layer sized its in-flight window from a parallelism the
+    pool did not have.
+    """
+
+    def test_default_matches_executor_default_formula(self):
+        assert ThreadBackend().effective_workers == min(
+            32, (os.cpu_count() or 1) + 4
+        )
+
+    def test_explicit_workers_override(self):
+        assert ThreadBackend(workers=3).effective_workers == 3
+
+    def test_session_pool_sized_from_effective_workers(self):
+        for backend in (ThreadBackend(), ThreadBackend(workers=2)):
+            session = backend.session(lambda x: x)
+            try:
+                assert (
+                    session._executor._max_workers == backend.effective_workers
+                )
+            finally:
+                session.close()
+
+
 # ---------------------------------------------------------------------------
 # run_tasks: the generic primitive
 # ---------------------------------------------------------------------------

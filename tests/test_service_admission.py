@@ -108,3 +108,43 @@ class TestPayloadAndStats:
     def test_rejects_nonpositive_burst(self):
         with pytest.raises(ValueError, match="burst"):
             AdmissionController(burst=0)
+
+
+class TestBucketPruning:
+    def test_rate_denied_fleet_does_not_grow_tracking_without_bound(self, clock):
+        # Regression: pruning used to run only on the *admitted* path, so
+        # a fleet of clients whose last interaction is a denial was never
+        # reclaimed.  Timeline (rate 0.01/s, burst 1 -> prune horizon
+        # 1/0.01 + 60 = 160 s):
+        #
+        #   t=100   1500 fleet clients each admit once then get rate-denied
+        #   t=255   a fresh "active" client admits (fleet age 155 < 160,
+        #           so this admitted-path prune correctly keeps everyone)
+        #   t=300   "active" is rate-denied (only 0.45 tokens refilled);
+        #           the fleet is now 200 s stale and must be pruned on
+        #           this denial, leaving just the active client tracked
+        ctl = AdmissionController(rate=0.01, burst=1, max_queued=0, clock=clock)
+        for i in range(1500):
+            assert ctl.admit(f"fleet{i}", outstanding=0).allowed
+            denied = ctl.admit(f"fleet{i}", outstanding=0)
+            assert not denied.allowed and denied.reason == REASON_RATE
+        assert ctl.stats()["tracked_clients"] == 1500
+        clock.advance(155.0)
+        assert ctl.admit("active", outstanding=0).allowed
+        assert ctl.stats()["tracked_clients"] == 1501
+        clock.advance(45.0)
+        denied = ctl.admit("active", outstanding=0)
+        assert not denied.allowed and denied.reason == REASON_RATE
+        assert ctl.stats()["tracked_clients"] == 1
+
+    def test_small_tables_are_never_pruned(self, clock):
+        # Below the 1024-bucket threshold pruning is a no-op, so hot-ish
+        # clients are not churned in and out of the table.
+        ctl = AdmissionController(rate=0.01, burst=1, max_queued=0, clock=clock)
+        for i in range(10):
+            ctl.admit(f"c{i}", outstanding=0)
+            ctl.admit(f"c{i}", outstanding=0)  # denial records the bucket
+        clock.advance(10_000.0)
+        ctl.admit("late", outstanding=0)
+        ctl.admit("late", outstanding=0)
+        assert ctl.stats()["tracked_clients"] == 11
