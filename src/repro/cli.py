@@ -147,6 +147,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="enable the persistent on-disk solve-cache tier rooted here "
         "(default: REPRO_CACHE_DIR, else disabled)",
     )
+    from .core.interval_dp import ENGINE_CHOICES
+
+    parser.add_argument(
+        "--engine",
+        choices=ENGINE_CHOICES,
+        help="DP evaluator for the sub-command: v3 vectorized (numpy), "
+        "v2 scalar, v1 trampoline (default: auto — v3 when numpy is "
+        "installed, else v2)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     unified = sub.add_parser(
@@ -294,6 +303,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-v1",
         action="store_true",
         help="skip the v1 trampoline-engine comparison",
+    )
+    bench.add_argument(
+        "--no-v3",
+        action="store_true",
+        help="skip the v3 vectorized-engine comparison (it is also skipped "
+        "automatically, with null columns, when numpy is unavailable)",
     )
     bench.add_argument(
         "--check",
@@ -600,6 +615,14 @@ def _dispatch(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.backend is not None:
         configure_backend(args.backend)
+    if args.engine is not None:
+        from .core.exceptions import EngineConfigurationError
+        from .core.interval_dp import set_default_engine
+
+        try:
+            set_default_engine(args.engine)
+        except EngineConfigurationError as exc:
+            parser.error(str(exc))
     if args.cache_dir is not None:
         try:
             configure_disk_cache(args.cache_dir)
@@ -847,7 +870,14 @@ def _dispatch(argv: Optional[Sequence[str]] = None) -> int:
                 ]
                 if value is not None
             ]
-            if args.quick or args.no_baseline or args.no_v1 or args.seed != 0 or conflicting:
+            if (
+                args.quick
+                or args.no_baseline
+                or args.no_v1
+                or args.no_v3
+                or args.seed != 0
+                or conflicting
+            ):
                 parser.error(
                     "--check only validates an existing report; drop the other flags"
                 )
@@ -876,6 +906,9 @@ def _dispatch(argv: Optional[Sequence[str]] = None) -> int:
         def _print_case(record) -> None:
             engine_ms = record["engine"]["median"] * 1000.0
             line = f"{record['name']:<28} v2 {engine_ms:>9.2f} ms"
+            if record["engine_v3"] is not None:
+                v3_ms = record["engine_v3"]["median"] * 1000.0
+                line += f"   v3 {v3_ms:>9.2f} ms ({record['speedup_vs_v2']:.2f}x)"
             if record["engine_v1"] is not None:
                 v1_ms = record["engine_v1"]["median"] * 1000.0
                 line += f"   v1 {v1_ms:>9.2f} ms ({record['speedup_vs_v1']:.2f}x)"
@@ -936,6 +969,7 @@ def _dispatch(argv: Optional[Sequence[str]] = None) -> int:
             seed=args.seed,
             baseline=not args.no_baseline,
             compare_v1=not args.no_v1,
+            compare_v3=not args.no_v3,
             progress=_print_case,
             # Deliberately only the explicit flag: a REPRO_BACKEND default
             # must not silently parallelize (and distort) timed runs.
@@ -957,6 +991,8 @@ def _dispatch(argv: Optional[Sequence[str]] = None) -> int:
                 else args.threshold
             )
             outcome = compare_reports(report, committed, threshold=threshold)
+            for warning in outcome["warnings"]:
+                print(f"  note: {warning}")
             print(
                 f"regression gate vs {compare_label}: "
                 f"{len(outcome['compared'])} cases compared, "

@@ -67,15 +67,19 @@ class MultiprocessorGapSolver:
         of the Baptiste candidate set; only sensible for small horizons
         (used by the tests to match the brute-force search space exactly).
     engine:
-        Evaluator selector: ``"v2"`` (default, bottom-up array-packed) or
-        ``"v1"`` (legacy generator trampoline, kept for benchmarks).
+        Evaluator selector: ``"v3"`` (vectorized, requires numpy), ``"v2"``
+        (bottom-up array-packed scalar), ``"v1"`` (legacy generator
+        trampoline, kept for benchmarks), or ``"auto"``.  ``None`` (the
+        default) resolves through the process-wide default — ``"auto"``
+        unless overridden with
+        :func:`~repro.core.interval_dp.set_default_engine`.
     """
 
     def __init__(
         self,
         instance: Union[MultiprocessorInstance, OneIntervalInstance],
         use_full_horizon: bool = False,
-        engine: str = "v2",
+        engine: Optional[str] = None,
     ) -> None:
         if isinstance(instance, OneIntervalInstance):
             instance = instance.to_multiprocessor(1)
@@ -107,7 +111,7 @@ class MultiprocessorGapSolver:
 def solve_multiprocessor_gap(
     instance: Union[MultiprocessorInstance, OneIntervalInstance],
     use_full_horizon: bool = False,
-    engine: str = "v2",
+    engine: Optional[str] = None,
 ) -> GapSolution:
     """Solve multiprocessor gap scheduling exactly (Theorem 1 convenience wrapper)."""
     return MultiprocessorGapSolver(

@@ -65,8 +65,12 @@ class MultiprocessorPowerSolver:
     use_full_horizon:
         Use all integer times as candidate columns (tests only).
     engine:
-        Evaluator selector: ``"v2"`` (default, bottom-up array-packed) or
-        ``"v1"`` (legacy generator trampoline, kept for benchmarks).
+        Evaluator selector: ``"v3"`` (vectorized, requires numpy), ``"v2"``
+        (bottom-up array-packed scalar), ``"v1"`` (legacy generator
+        trampoline, kept for benchmarks), or ``"auto"``.  ``None`` (the
+        default) resolves through the process-wide default — ``"auto"``
+        unless overridden with
+        :func:`~repro.core.interval_dp.set_default_engine`.
     """
 
     def __init__(
@@ -74,7 +78,7 @@ class MultiprocessorPowerSolver:
         instance: Union[MultiprocessorInstance, OneIntervalInstance],
         alpha: float,
         use_full_horizon: bool = False,
-        engine: str = "v2",
+        engine: Optional[str] = None,
     ) -> None:
         if isinstance(instance, OneIntervalInstance):
             instance = instance.to_multiprocessor(1)
@@ -116,7 +120,7 @@ def solve_multiprocessor_power(
     instance: Union[MultiprocessorInstance, OneIntervalInstance],
     alpha: float,
     use_full_horizon: bool = False,
-    engine: str = "v2",
+    engine: Optional[str] = None,
 ) -> PowerSolution:
     """Solve multiprocessor power minimization exactly (Theorem 2 convenience wrapper)."""
     solver = MultiprocessorPowerSolver(

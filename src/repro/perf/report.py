@@ -10,12 +10,14 @@ against the committed report.
 Top-level keys::
 
     schema        the literal schema id (BENCH_SCHEMA)
-    engine        {"name", "version"} of the measured (v2) engine
+    engine        {"name", "version"} of the engine family under test
     quick         whether this was the reduced CI smoke matrix
     seed          master instance-generator seed
     repeats       timed repetitions per solver per case
     warmup        untimed warmup runs per solver per case
-    environment   {"python", "implementation", "platform"}
+    environment   {"python", "implementation", "platform", "numpy"} —
+                  ``numpy`` is the imported numpy version, or null when the
+                  run had no numpy (v3 columns will be null too)
     cases         list of per-case records
 
 Per-case keys::
@@ -27,15 +29,25 @@ Per-case keys::
     num_processors  p
     alpha           wake-up cost (null for the gap objective)
     value           optimal objective value (null when infeasible)
-    engine          timing block for the v2 (bottom-up) engine
+    engine          timing block for the v2 (bottom-up scalar) engine
     engine_v1       timing block for the v1 (trampoline) engine (null if skipped)
+    engine_v3       timing block for the v3 (vectorized) engine (null when
+                    skipped or numpy is unavailable)
     baseline        timing block for the frozen seed solver (null if skipped)
     speedup         baseline median / engine median (null if baseline skipped)
     speedup_vs_v1   engine_v1 median / engine median (null if v1 skipped)
+    speedup_vs_v2   engine median / engine_v3 median — the v3-over-v2
+                    within-run speedup (null without engine_v3; ~1.0 on
+                    cases where the kernels fall back to the scalar path)
     decomposed      timing block for the decomposed façade solve, caches off
                     (null on cases without the decompose column)
     speedup_vs_mono engine median / decomposed median (null if not measured)
     engine_stats    pruning/memo counters of one v2 engine run
+    engine_v3_stats counters of one v3 engine run (null without engine_v3);
+                    includes the kernel-engagement counters
+                    ``vector_nodes`` / ``vector_fallback_nodes`` — a case
+                    with ``vector_nodes == 0`` ran entirely on the scalar
+                    fallback, so its ``speedup_vs_v2`` is parity by design
 
 Timing blocks::
 
@@ -49,7 +61,11 @@ carries the full seed -> v1 -> v2 trajectory; ``bench-dp/v3`` adds the
 ``decomposed`` / ``speedup_vs_mono`` columns for the splittable families
 solved through :mod:`repro.core.decompose` (the regression gate still keys
 on the engine columns — decomposition speedups depend on core count and
-are reported, not gated).
+are reported, not gated); ``bench-dp/v4`` adds the ``engine_v3`` /
+``speedup_vs_v2`` / ``engine_v3_stats`` columns for the vectorized engine
+and records the numpy version in the environment block, so
+:func:`compare_reports` can warn (without failing) when two reports were
+produced on different numeric stacks.
 """
 
 from __future__ import annotations
@@ -71,7 +87,7 @@ __all__ = [
     "DEFAULT_REGRESSION_MIN_MEDIAN",
 ]
 
-BENCH_SCHEMA = "repro.perf/bench-dp/v3"
+BENCH_SCHEMA = "repro.perf/bench-dp/v4"
 
 #: A case regresses when its fresh engine median exceeds the committed
 #: median by more than this factor.
@@ -102,12 +118,15 @@ _CASE_KEYS = {
     "value",
     "engine",
     "engine_v1",
+    "engine_v3",
     "baseline",
     "speedup",
     "speedup_vs_v1",
+    "speedup_vs_v2",
     "decomposed",
     "speedup_vs_mono",
     "engine_stats",
+    "engine_v3_stats",
 }
 _TIMING_KEYS = {"best", "median", "mean", "runs"}
 
@@ -116,12 +135,20 @@ class BenchSchemaError(ValueError):
     """Raised when a benchmark report does not match :data:`BENCH_SCHEMA`."""
 
 
-def environment_fingerprint() -> Dict[str, str]:
-    """The environment block stamped into every report."""
+def environment_fingerprint() -> Dict[str, Any]:
+    """The environment block stamped into every report.
+
+    ``numpy`` records the imported numpy version (null when absent) so
+    report consumers — and :func:`compare_reports` — can tell whether two
+    reports were produced on the same numeric stack.
+    """
+    from ..core.vector_kernels import numpy_version
+
     return {
         "python": platform.python_version(),
         "implementation": platform.python_implementation(),
         "platform": platform.platform(),
+        "numpy": numpy_version(),
     }
 
 
@@ -188,8 +215,12 @@ def validate_report(data: Any) -> None:
     if not isinstance(environment, dict):
         raise BenchSchemaError("report.environment must be an object")
     _require_keys(
-        "report.environment", environment, {"python", "implementation", "platform"}
+        "report.environment",
+        environment,
+        {"python", "implementation", "platform", "numpy"},
     )
+    if environment["numpy"] is not None and not isinstance(environment["numpy"], str):
+        raise BenchSchemaError("report.environment.numpy must be a string or null")
     cases = data["cases"]
     if not isinstance(cases, list) or not cases:
         raise BenchSchemaError("report.cases must be a non-empty list")
@@ -216,6 +247,7 @@ def validate_report(data: Any) -> None:
         _check_timing(f"{label}.engine", case["engine"])
         _check_optional_comparison(label, case, "baseline", "speedup")
         _check_optional_comparison(label, case, "engine_v1", "speedup_vs_v1")
+        _check_optional_comparison(label, case, "engine_v3", "speedup_vs_v2")
         _check_optional_comparison(label, case, "decomposed", "speedup_vs_mono")
         if not isinstance(case["engine_stats"], dict):
             raise BenchSchemaError(f"{label}.engine_stats: must be an object")
@@ -224,6 +256,22 @@ def validate_report(data: Any) -> None:
                 raise BenchSchemaError(
                     f"{label}.engine_stats[{key!r}]: counters must be integers"
                 )
+        v3_stats = case["engine_v3_stats"]
+        if case["engine_v3"] is not None:
+            if not isinstance(v3_stats, dict):
+                raise BenchSchemaError(
+                    f"{label}.engine_v3_stats: must be an object when "
+                    "engine_v3 is present"
+                )
+            for key, value in v3_stats.items():
+                if not isinstance(value, int):
+                    raise BenchSchemaError(
+                        f"{label}.engine_v3_stats[{key!r}]: counters must be integers"
+                    )
+        elif v3_stats is not None:
+            raise BenchSchemaError(
+                f"{label}.engine_v3_stats: must be null without engine_v3"
+            )
 
 
 def write_report(data: Dict, path: str) -> None:
@@ -272,10 +320,18 @@ def compare_reports(
     are reported as ``skipped`` (too noisy to gate), and names present in
     only one report as ``unmatched``.
 
+    Cross-stack awareness: when the two reports were produced on different
+    numeric stacks (different or missing numpy, or a different interpreter
+    version), absolute v3 timings are not comparable, so a note is added
+    to ``warnings`` — reported, never gated.  Schema-v3 reports have no
+    environment ``numpy`` key; they compare cleanly with no warning about
+    it beyond the generic mismatch note.
+
     Returns ``{"regressions": [...], "compared": [...], "skipped": [...],
-    "unmatched": [...]}`` where each regression entry is ``{"name",
-    "metric", "fresh_value", "committed_value", "ratio"}`` with ``metric``
-    one of ``"speedup_vs_v1"`` / ``"engine_median"``.
+    "unmatched": [...], "warnings": [...]}`` where each regression entry
+    is ``{"name", "metric", "fresh_value", "committed_value", "ratio"}``
+    with ``metric`` one of ``"speedup_vs_v1"`` / ``"engine_median"``, and
+    each warning is a human-readable string.
     """
     if threshold <= 0:
         raise ValueError(f"threshold must be positive, got {threshold}")
@@ -284,6 +340,19 @@ def compare_reports(
     compared: List[str] = []
     skipped: List[str] = []
     unmatched: List[str] = []
+    warnings: List[str] = []
+    fresh_env = fresh.get("environment") or {}
+    committed_env = committed.get("environment") or {}
+    for key, label in (("numpy", "numpy"), ("python", "Python")):
+        mine = fresh_env.get(key)
+        theirs = committed_env.get(key)
+        if mine != theirs:
+            warnings.append(
+                f"{label} version differs between reports "
+                f"(fresh: {mine or 'absent'}, committed: {theirs or 'absent'}); "
+                "v3 timings are not directly comparable across numeric stacks "
+                "— the gate keys on within-run ratios and is unaffected"
+            )
     fresh_names = set()
     for case in fresh["cases"]:
         name = case["name"]
@@ -326,4 +395,5 @@ def compare_reports(
         "compared": compared,
         "skipped": skipped,
         "unmatched": unmatched,
+        "warnings": warnings,
     }

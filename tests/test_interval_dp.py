@@ -14,6 +14,7 @@ from repro.core.brute_force import (
 from repro.core.dp_profile import IntervalDecomposition
 from repro.core.exceptions import InvalidInstanceError
 from repro.core.interval_dp import (
+    BOTTOM_UP_ENGINE_VERSION,
     ENGINE_NAME,
     ENGINE_VERSION,
     TRAMPOLINE_ENGINE_VERSION,
@@ -21,6 +22,7 @@ from repro.core.interval_dp import (
     IntervalDPEngine,
     PowerObjective,
     TrampolineDPEngine,
+    VectorizedDPEngine,
     build_engine,
     staircase_schedule,
 )
@@ -67,7 +69,7 @@ class TestEngineOutcome:
         engine.solve()
         meta = engine.metadata()
         assert meta["name"] == ENGINE_NAME
-        assert meta["version"] == ENGINE_VERSION
+        assert meta["version"] == BOTTOM_UP_ENGINE_VERSION
         assert meta["objective"] == "power"
         stats = meta["stats"]
         assert stats["states_computed"] > 0
@@ -88,8 +90,17 @@ class TestEngineOutcome:
         assert isinstance(
             build_engine(decomp, GapObjective(1), "v1"), TrampolineDPEngine
         )
+        from repro.core import vector_kernels
+        from repro.core.exceptions import EngineConfigurationError
+
+        if vector_kernels.numpy_available():
+            engine_v3 = build_engine(decomp, GapObjective(1), "v3")
+            assert isinstance(engine_v3, VectorizedDPEngine)
+        else:
+            with pytest.raises(EngineConfigurationError):
+                build_engine(decomp, GapObjective(1), "v3")
         with pytest.raises(ValueError):
-            build_engine(decomp, GapObjective(1), "v3")
+            build_engine(decomp, GapObjective(1), "v9")
 
     def test_power_objective_rejects_negative_alpha(self):
         with pytest.raises(InvalidInstanceError):

@@ -444,7 +444,14 @@ class TestServiceCLIVerbs:
 
 def _start_serve_subprocess(db_path, *extra_args):
     env = dict(os.environ)
-    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    # Prepend src rather than replace: the daemon must see the same
+    # python-path environment as the test process (e.g. the numpy-masking
+    # shim of the without-numpy leg), or remote and direct solves would
+    # run on different engines and envelope parity would not hold.
+    env["PYTHONPATH"] = os.pathsep.join(
+        [os.path.join(REPO_ROOT, "src")]
+        + [p for p in env.get("PYTHONPATH", "").split(os.pathsep) if p]
+    )
     env.pop("REPRO_BACKEND", None)
     process = subprocess.Popen(
         [
