@@ -59,6 +59,14 @@ from .solvers import (
     solve_cache_bypass,
     solve_cache_stats,
 )
+from ..bounds import (
+    BoundCertificate,
+    gap_lower_bound,
+    hall_deficiency,
+    lower_bound_for,
+    matching_feasibility,
+    power_lower_bound,
+)
 from .batch import solve_batch
 from .decomposition import (
     configure_decomposition,
@@ -68,6 +76,19 @@ from .decomposition import (
     try_decomposed_solve,
 )
 from .serialization import from_dict, from_json, register_codec, to_dict, to_json
+
+# The portfolio races through this package's own solve façade, so importing
+# it eagerly here would be circular; resolve its names on first access.
+_PORTFOLIO_NAMES = ("run_portfolio", "default_members", "DEFAULT_EXACT_JOB_LIMIT")
+
+
+def __getattr__(name):
+    if name in _PORTFOLIO_NAMES:
+        from .. import portfolio
+
+        return getattr(portfolio, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     # problem spec
@@ -87,6 +108,16 @@ __all__ = [
     "solve",
     # batch execution
     "solve_batch",
+    # budget-raced portfolio + certified bounds
+    "run_portfolio",
+    "default_members",
+    "DEFAULT_EXACT_JOB_LIMIT",
+    "BoundCertificate",
+    "gap_lower_bound",
+    "power_lower_bound",
+    "hall_deficiency",
+    "matching_feasibility",
+    "lower_bound_for",
     # canonical solve cache
     "configure_solve_cache",
     "clear_solve_cache",

@@ -154,7 +154,10 @@ def select_solver(problem: Problem, solver: str = "auto") -> SolverSpec:
 
 
 def solve(
-    problem: Problem, solver: str = "auto", on_infeasible: str = "result"
+    problem: Problem,
+    solver: str = "auto",
+    on_infeasible: str = "result",
+    budget: Optional[float] = None,
 ) -> SolveResult:
     """Solve one problem through the façade.
 
@@ -169,6 +172,13 @@ def solve(
         ``"result"`` (default) returns the uniform infeasible envelope
         (``status="infeasible"``, ``value=None``, ``schedule=None``);
         ``"raise"`` raises :class:`InfeasibleInstanceError` instead.
+    budget:
+        Wall-clock seconds.  When given, dispatch routes to the
+        :mod:`repro.portfolio` racer instead of a single solver: scalable
+        heuristics (plus the exact DP on small instances) race under the
+        deadline and the best feasible answer comes back with a certified
+        ``extra["optimality_gap"]``.  Requires ``solver="auto"`` — a
+        forced solver name and a budget contradict each other.
 
     Returns
     -------
@@ -186,6 +196,18 @@ def solve(
         raise ValueError(
             f"on_infeasible must be 'result' or 'raise', got {on_infeasible!r}"
         )
+    if budget is not None:
+        if solver != "auto":
+            raise ValueError(
+                "budget-raced solving picks its own members; "
+                f"pass solver='auto', not {solver!r}"
+            )
+        from ..portfolio import run_portfolio  # local import: avoids a cycle
+
+        result = run_portfolio(problem, budget)
+        if on_infeasible == "raise":
+            result.raise_for_status()
+        return result
     spec = select_solver(problem, solver=solver)
     start = time.perf_counter()
     try:

@@ -10,6 +10,10 @@ registry name             objective   kind         algorithm
 ``power-dp``              power       exact        Theorem 2 interval DP
 ``power-approx``          power       approximate  Theorem 3 set-packing approximation
 ``throughput-greedy``     throughput  approximate  Theorem 11 greedy
+``edf-gap``               gaps        approximate  EDF list schedule, a-posteriori certified
+``localsearch-gap``       gaps        approximate  EDF + block-merge local search
+``edf-power``             power       approximate  EDF list schedule, a-posteriori certified
+``localsearch-power``     power       approximate  EDF + power-aware block-merge local search
 ``greedy-gap``            gaps        baseline     [FHKN06] greedy 3-approximation
 ``online-edf``            gaps        baseline     work-conserving online EDF
 ``brute-force-gaps``      gaps        baseline     exponential oracle (small n only)
@@ -49,6 +53,7 @@ from ..core.canonical import (
 )
 from ..core.greedy_gap import greedy_gap_schedule
 from ..core.interval_dp import staircase_schedule
+from ..core.list_heuristics import edf_list_schedule, merge_local_search
 from ..core.jobs import (
     MultiIntervalInstance,
     MultiprocessorInstance,
@@ -69,6 +74,7 @@ from .result import SolveResult
 __all__: List[str] = [
     "clear_solve_cache",
     "configure_solve_cache",
+    "heuristic_deadline",
     "seed_solve_cache",
     "solve_cache_bypass",
     "solve_cache_contains",
@@ -583,6 +589,139 @@ def _solve_online_edf(problem: Problem) -> SolveResult:
         objective="gaps",
         value=schedule.num_gaps(),
         schedule=schedule,
+    )
+
+
+# ---------------------------------------------------------------------------
+# scalable heuristics with a-posteriori certified factors (PR 9)
+# ---------------------------------------------------------------------------
+#: Wall-clock deadline (``time.perf_counter()`` value) the local-search
+#: adapters stop at; set by the portfolio racer via :func:`heuristic_deadline`.
+_HEURISTIC_DEADLINE: List[Optional[float]] = [None]
+
+
+@contextmanager
+def heuristic_deadline(deadline: Optional[float]):
+    """Run the heuristic adapters under a cooperative wall-clock deadline.
+
+    ``deadline`` is an absolute ``time.perf_counter()`` value.  The
+    local-search solvers stop sweeping when it passes and return the best
+    schedule found so far — stopping early never invalidates the answer,
+    it only loosens the certified factor.
+    """
+    _HEURISTIC_DEADLINE.append(deadline)
+    try:
+        yield
+    finally:
+        _HEURISTIC_DEADLINE.pop()
+
+
+def _certified_heuristic_result(problem: Problem, schedule, extra: Dict) -> SolveResult:
+    """Wrap a heuristic schedule with an honest a-posteriori certificate.
+
+    The stamped ``guarantee_factor`` is instance-specific: with a certified
+    lower bound ``L <= opt`` and heuristic value ``U``, the value is within
+    ``U / L`` of optimal.  When ``L == 0`` (a gapless optimum cannot be
+    ruled out) no finite multiplicative factor exists and the stamp is
+    honestly ``None`` — matching the precedent of ``online-edf``.
+    """
+    from ..bounds import lower_bound_for
+
+    if problem.objective == "gaps":
+        value: float = schedule.num_gaps()
+    else:
+        value = schedule.power_cost(problem.alpha)
+    cert = lower_bound_for(problem)
+    ratio: Optional[float] = None
+    lower: Optional[float] = None
+    if cert is not None:
+        lower = cert.value
+        if lower > 0:
+            ratio = value / lower
+        elif value <= 0:
+            ratio = 1.0
+        extra["lower_bound"] = cert.to_dict()
+        extra["optimality_gap"] = {"lower": lower, "upper": value, "ratio": ratio}
+    return SolveResult(
+        status="approximate",
+        objective=problem.objective,
+        value=value,
+        schedule=schedule,
+        guarantee_factor=ratio,
+        extra=extra,
+    )
+
+
+@register_solver(
+    "edf-gap",
+    objective="gaps",
+    kind="approximate",
+    instance_types=(OneIntervalInstance,),
+    description="O(n log n) EDF list schedule with an a-posteriori certified gap factor",
+)
+def _solve_edf_gap(problem: Problem) -> SolveResult:
+    schedule = edf_list_schedule(problem.instance)
+    return _certified_heuristic_result(problem, schedule, {"heuristic": "edf"})
+
+
+@register_solver(
+    "localsearch-gap",
+    objective="gaps",
+    kind="approximate",
+    instance_types=(OneIntervalInstance,),
+    description="EDF plus block-merge local search over gap boundaries",
+)
+def _solve_localsearch_gap(problem: Problem) -> SolveResult:
+    search = merge_local_search(
+        problem.instance, objective="gaps", deadline=_HEURISTIC_DEADLINE[-1]
+    )
+    return _certified_heuristic_result(
+        problem,
+        search.schedule,
+        {
+            "heuristic": "edf+localsearch",
+            "sweeps": search.sweeps,
+            "merges": search.merges,
+            "exhausted": search.exhausted,
+        },
+    )
+
+
+@register_solver(
+    "edf-power",
+    objective="power",
+    kind="approximate",
+    instance_types=(OneIntervalInstance,),
+    description="O(n log n) EDF list schedule with an a-posteriori certified power factor",
+)
+def _solve_edf_power(problem: Problem) -> SolveResult:
+    schedule = edf_list_schedule(problem.instance)
+    return _certified_heuristic_result(problem, schedule, {"heuristic": "edf"})
+
+
+@register_solver(
+    "localsearch-power",
+    objective="power",
+    kind="approximate",
+    instance_types=(OneIntervalInstance,),
+    description="EDF plus power-aware block-merge local search",
+)
+def _solve_localsearch_power(problem: Problem) -> SolveResult:
+    search = merge_local_search(
+        problem.instance,
+        objective="power",
+        alpha=problem.alpha,
+        deadline=_HEURISTIC_DEADLINE[-1],
+    )
+    return _certified_heuristic_result(
+        problem,
+        search.schedule,
+        {
+            "heuristic": "edf+localsearch",
+            "sweeps": search.sweeps,
+            "merges": search.merges,
+            "exhausted": search.exhausted,
+        },
     )
 
 

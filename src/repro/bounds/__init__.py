@@ -1,0 +1,49 @@
+"""Cheap, certified lower bounds for the large-n approximation portfolio.
+
+The exact DPs (Theorems 1 and 2) are polynomial but heavy; the paper's own
+approximation results ([FHKN06] ``3 opt + 2`` for gaps, ``(1 + alpha) opt``
+for power) show that *certified* approximate answers are cheap.  This
+package supplies the other half of a certified answer: lower bounds on the
+optimum that cost ``O(n log n)``, each packaged as a
+:class:`BoundCertificate` whose witness can be re-checked independently by
+:func:`repro.verify.certificates.certify_bound`.
+
+* :func:`gap_lower_bound` — the window-component bound: if the union of the
+  jobs' execution windows splits into ``k`` maximal intervals separated by
+  uncovered time, every complete single-processor schedule has at least
+  ``k - 1`` gaps.
+* :func:`power_lower_bound` — area plus forced-seam bound: ``n`` busy slots,
+  one wake-up ``alpha``, and every seam between consecutive window
+  components forces an idle period of at least its width, costing
+  ``min(width, alpha)``.
+* :func:`hall_deficiency` — a sweepline/segment-tree evaluation of the Hall
+  condition for unit jobs in ``O(n log n)`` (the quadratic reference
+  implementation lives in :func:`repro.matching.hall.hall_violation`);
+  a positive deficiency certifies infeasibility with an explicit
+  overloaded window.
+* :func:`matching_feasibility` — the bipartite-matching oracle
+  (:func:`repro.matching.hopcroft_karp`) packaged as a certificate, for
+  instances small enough to materialise the job/slot graph.
+* :func:`lower_bound_for` — objective dispatch used by the portfolio and
+  the heuristic solver adapters.
+"""
+
+from .certificate import BoundCertificate
+from .lower import (
+    gap_lower_bound,
+    hall_deficiency,
+    lower_bound_for,
+    matching_feasibility,
+    power_lower_bound,
+    window_components,
+)
+
+__all__ = [
+    "BoundCertificate",
+    "gap_lower_bound",
+    "power_lower_bound",
+    "hall_deficiency",
+    "matching_feasibility",
+    "lower_bound_for",
+    "window_components",
+]

@@ -1,0 +1,81 @@
+"""The certificate envelope shared by every bound in :mod:`repro.bounds`."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+__all__ = ["BOUND_KINDS", "BoundCertificate"]
+
+#: The witness kinds :func:`repro.verify.certificates.certify_bound` can re-check.
+BOUND_KINDS = (
+    "gap-structure",
+    "power-structure",
+    "hall-deficiency",
+    "matching-feasibility",
+)
+
+
+@dataclass
+class BoundCertificate:
+    """A lower bound together with the witness that proves it.
+
+    Attributes
+    ----------
+    kind:
+        One of :data:`BOUND_KINDS`; selects the re-checking procedure in
+        :func:`repro.verify.certificates.certify_bound`.
+    objective:
+        ``"gaps"`` / ``"power"`` for value bounds, ``"feasibility"`` for
+        the infeasibility certificates.
+    value:
+        The proven lower bound on the optimum (for value bounds), or the
+        Hall deficiency / matching shortfall (for feasibility
+        certificates, where ``value > 0`` certifies infeasibility).
+    witness:
+        JSON-native data sufficient to re-derive ``value`` without
+        re-running the bound computation (e.g. the window components, the
+        overloaded Hall window, the matching size).
+    alpha:
+        The wake-up cost, for power bounds only.
+    """
+
+    kind: str
+    objective: str
+    value: float
+    witness: Dict[str, Any] = field(default_factory=dict)
+    alpha: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in BOUND_KINDS:
+            raise ValueError(
+                f"unknown bound kind {self.kind!r}; expected one of {BOUND_KINDS}"
+            )
+
+    @property
+    def proves_infeasible(self) -> bool:
+        """True when this certificate proves the instance infeasible."""
+        return self.objective == "feasibility" and self.value > 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-native form, embedded verbatim in ``SolveResult.extra``."""
+        payload: Dict[str, Any] = {
+            "kind": self.kind,
+            "objective": self.objective,
+            "value": self.value,
+            "witness": self.witness,
+        }
+        if self.alpha is not None:
+            payload["alpha"] = self.alpha
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "BoundCertificate":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            kind=payload["kind"],
+            objective=payload["objective"],
+            value=payload["value"],
+            witness=dict(payload.get("witness", {})),
+            alpha=payload.get("alpha"),
+        )

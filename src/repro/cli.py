@@ -182,6 +182,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-gaps", type=int, help="gap budget (throughput objective)"
     )
     unified.add_argument(
+        "--budget",
+        type=float,
+        metavar="SECONDS",
+        help="race the solver portfolio under this wall-clock budget and "
+        "return the best feasible answer with a certified optimality gap "
+        "(requires --solver auto)",
+    )
+    unified.add_argument(
         "--json", action="store_true", help="print the SolveResult as JSON"
     )
 
@@ -278,6 +286,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print aggregated interval-DP engine pruning/memo statistics",
     )
+    fuzz_cmd.add_argument(
+        "--portfolio",
+        action="store_true",
+        help="differentially fuzz the budget-raced portfolio against the "
+        "exact DPs on small seeded instances (honors --seed/--n only)",
+    )
 
     bench = sub.add_parser(
         "bench",
@@ -341,6 +355,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --compare HISTORY: gate against per-case rolling medians "
         "of the last K same-schema history entries instead of the single "
         "latest entry (steadies the gate against one-off fast runs)",
+    )
+    bench.add_argument(
+        "--filter",
+        metavar="REGEX",
+        help="run only cases whose name matches this regular expression "
+        "(error when nothing matches)",
+    )
+    bench.add_argument(
+        "--portfolio",
+        action="store_true",
+        help="also run the budget-raced large-n portfolio cases (reported, "
+        "never gated by --compare)",
+    )
+    bench.add_argument(
+        "--stream",
+        action="store_true",
+        help="run the solve_stream throughput microbenchmark instead of the "
+        "interval-DP matrix (own schema, default output BENCH_stream.json; "
+        "honors --out/--repeats/--seed only)",
     )
 
     serve = sub.add_parser(
@@ -528,6 +561,14 @@ def _print_result(result: SolveResult) -> None:
     print(f"value: {value_text}")
     if result.guarantee_factor is not None:
         print(f"guarantee factor: {result.guarantee_factor:g}")
+    gap = (result.extra or {}).get("optimality_gap")
+    if gap is not None:
+        ratio = gap.get("ratio")
+        ratio_text = "unbounded" if ratio is None else f"{ratio:g}"
+        print(
+            f"certified gap: lower {gap['lower']:g}  upper {gap['upper']:g}  "
+            f"ratio {ratio_text}"
+        )
     if result.schedule is not None:
         _print_schedule_rows(result.schedule)
 
@@ -680,9 +721,11 @@ def _dispatch(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "solve":
         # Bad input files, malformed problems and unknown solver names must
         # surface as usage errors (exit 2), not tracebacks.
+        if args.budget is not None and args.budget <= 0:
+            parser.error("--budget must be positive")
         try:
             problem = _load_problem(args, parser)
-            result = solve(problem, solver=args.solver)
+            result = solve(problem, solver=args.solver, budget=args.budget)
         except (ReproError, ValueError) as exc:
             parser.error(str(exc))
         if args.json:
@@ -792,6 +835,39 @@ def _dispatch(argv: Optional[Sequence[str]] = None) -> int:
         from .verify import fuzz as run_fuzz
         from .verify import replay as run_replay
 
+        if args.portfolio:
+            conflicting = [
+                flag
+                for flag, value in [
+                    ("--objective", args.objective),
+                    ("--corpus", args.corpus),
+                    ("--replay", args.replay),
+                ]
+                if value is not None
+            ]
+            if args.profile or args.no_metamorphic:
+                conflicting.append("--profile/--no-metamorphic")
+            if conflicting:
+                parser.error(
+                    f"--portfolio honors --seed/--n only; drop "
+                    f"{', '.join(conflicting)}"
+                )
+            from .verify import portfolio_fuzz
+
+            report = portfolio_fuzz(
+                seed=args.seed if args.seed is not None else 0,
+                n=args.n if args.n is not None else 100,
+            )
+            print(report.summary())
+            for failure in report.failures:
+                print(
+                    f"  case {failure.index} [{failure.objective}"
+                    f"/alpha={failure.alpha}] pairs={failure.pairs}:"
+                )
+                for issue in failure.issues:
+                    print(f"    - {issue}")
+            return 0 if report.ok else 1
+
         if args.replay is not None:
             conflicting = [
                 flag
@@ -856,6 +932,43 @@ def _dispatch(argv: Optional[Sequence[str]] = None) -> int:
             write_report,
         )
 
+        if args.stream:
+            from .perf import run_stream_bench, write_stream_report
+
+            conflicting = [
+                flag
+                for flag, value in [
+                    ("--warmup", args.warmup),
+                    ("--check", args.check),
+                    ("--compare", args.compare),
+                    ("--threshold", args.threshold),
+                    ("--append", args.append),
+                    ("--median-window", args.median_window),
+                    ("--filter", args.filter),
+                ]
+                if value is not None
+            ]
+            if args.quick or args.no_baseline or args.no_v1 or args.no_v3:
+                conflicting.append("--quick/--no-*")
+            if args.portfolio:
+                conflicting.append("--portfolio")
+            if conflicting:
+                parser.error(
+                    f"--stream honors --out/--repeats/--seed only; drop "
+                    f"{', '.join(conflicting)}"
+                )
+            stream_report = run_stream_bench(seed=args.seed, repeats=args.repeats)
+            for entry in stream_report["backends"]:
+                print(
+                    f"{entry['backend']:<12} "
+                    f"{entry['problems_per_second']:>10.0f} problems/s  "
+                    f"{entry['jobs_per_second']:>10.0f} jobs/s"
+                )
+            out = args.out or "BENCH_stream.json"
+            write_stream_report(stream_report, out)
+            print(f"stream report written to {out}")
+            return 0
+
         if args.check is not None:
             conflicting = [
                 flag
@@ -867,6 +980,7 @@ def _dispatch(argv: Optional[Sequence[str]] = None) -> int:
                     ("--threshold", args.threshold),
                     ("--append", args.append),
                     ("--median-window", args.median_window),
+                    ("--filter", args.filter),
                 ]
                 if value is not None
             ]
@@ -875,6 +989,7 @@ def _dispatch(argv: Optional[Sequence[str]] = None) -> int:
                 or args.no_baseline
                 or args.no_v1
                 or args.no_v3
+                or args.portfolio
                 or args.seed != 0
                 or conflicting
             ):
@@ -905,6 +1020,16 @@ def _dispatch(argv: Optional[Sequence[str]] = None) -> int:
 
         def _print_case(record) -> None:
             engine_ms = record["engine"]["median"] * 1000.0
+            if record.get("portfolio") is not None:
+                race = record["portfolio"]
+                ratio = race["ratio"]
+                ratio_text = "unbounded" if ratio is None else f"{ratio:.3f}"
+                print(
+                    f"{record['name']:<28} raced {engine_ms:>9.2f} ms "
+                    f"(budget {race['budget']:g}s)   winner {race['winner']}   "
+                    f"gap ratio {ratio_text}"
+                )
+                return
             line = f"{record['name']:<28} v2 {engine_ms:>9.2f} ms"
             if record["engine_v3"] is not None:
                 v3_ms = record["engine_v3"]["median"] * 1000.0
@@ -962,19 +1087,25 @@ def _dispatch(argv: Optional[Sequence[str]] = None) -> int:
         out = args.out
         if out is None:
             out = "BENCH_smoke.json" if args.quick else "BENCH_dp.json"
-        report = run_bench(
-            quick=args.quick,
-            repeats=args.repeats,
-            warmup=args.warmup,
-            seed=args.seed,
-            baseline=not args.no_baseline,
-            compare_v1=not args.no_v1,
-            compare_v3=not args.no_v3,
-            progress=_print_case,
-            # Deliberately only the explicit flag: a REPRO_BACKEND default
-            # must not silently parallelize (and distort) timed runs.
-            backend=args.backend,
-        )
+        try:
+            report = run_bench(
+                quick=args.quick,
+                repeats=args.repeats,
+                warmup=args.warmup,
+                seed=args.seed,
+                baseline=not args.no_baseline,
+                compare_v1=not args.no_v1,
+                compare_v3=not args.no_v3,
+                progress=_print_case,
+                # Deliberately only the explicit flag: a REPRO_BACKEND default
+                # must not silently parallelize (and distort) timed runs.
+                backend=args.backend,
+                portfolio=args.portfolio,
+                name_filter=args.filter,
+            )
+        except ValueError as exc:
+            # An empty --filter match is a usage error, not a traceback.
+            parser.error(str(exc))
         write_report(report, out)
         print(f"report written to {out}")
         if args.append is not None:

@@ -10,7 +10,19 @@ reports (``BENCH_dp.json``) with a stable, validated schema
 thin wrapper around :func:`repro.perf.bench.run_bench`.
 """
 
-from .bench import BenchCase, default_cases, run_bench, time_callable
+from .bench import (
+    BenchCase,
+    default_cases,
+    portfolio_cases,
+    run_bench,
+    time_callable,
+)
+from .streambench import (
+    STREAM_SCHEMA,
+    run_stream_bench,
+    validate_stream_report,
+    write_stream_report,
+)
 from .history import (
     HISTORY_SCHEMA,
     append_history,
@@ -34,8 +46,13 @@ from .report import (
 __all__ = [
     "BenchCase",
     "default_cases",
+    "portfolio_cases",
     "run_bench",
     "time_callable",
+    "STREAM_SCHEMA",
+    "run_stream_bench",
+    "validate_stream_report",
+    "write_stream_report",
     "BENCH_SCHEMA",
     "HISTORY_SCHEMA",
     "BenchSchemaError",

@@ -42,6 +42,13 @@ Per-case keys::
     decomposed      timing block for the decomposed façade solve, caches off
                     (null on cases without the decompose column)
     speedup_vs_mono engine median / decomposed median (null if not measured)
+    portfolio       budget-raced portfolio block (null on the exact-DP
+                    cases): ``{"budget", "status", "winner", "upper",
+                    "lower", "ratio", "members"}`` where ``members`` lists
+                    every roster member's ``{"name", "state", "status",
+                    "wall_time"}``; on portfolio cases the ``engine`` block
+                    times the end-to-end raced solve and every other
+                    comparison column is null
     engine_stats    pruning/memo counters of one v2 engine run
     engine_v3_stats counters of one v3 engine run (null without engine_v3);
                     includes the kernel-engagement counters
@@ -65,7 +72,11 @@ are reported, not gated); ``bench-dp/v4`` adds the ``engine_v3`` /
 ``speedup_vs_v2`` / ``engine_v3_stats`` columns for the vectorized engine
 and records the numpy version in the environment block, so
 :func:`compare_reports` can warn (without failing) when two reports were
-produced on different numeric stacks.
+produced on different numeric stacks; ``bench-dp/v5`` adds the nullable
+``portfolio`` case block for the budget-raced large-n family (per-member
+times and the realized certified gap).  Portfolio cases carry no v1
+column and their wall time is pinned by the budget, not the machine, so
+:func:`compare_reports` records them as skipped instead of gating them.
 """
 
 from __future__ import annotations
@@ -87,7 +98,7 @@ __all__ = [
     "DEFAULT_REGRESSION_MIN_MEDIAN",
 ]
 
-BENCH_SCHEMA = "repro.perf/bench-dp/v4"
+BENCH_SCHEMA = "repro.perf/bench-dp/v5"
 
 #: A case regresses when its fresh engine median exceeds the committed
 #: median by more than this factor.
@@ -125,10 +136,13 @@ _CASE_KEYS = {
     "speedup_vs_v2",
     "decomposed",
     "speedup_vs_mono",
+    "portfolio",
     "engine_stats",
     "engine_v3_stats",
 }
 _TIMING_KEYS = {"best", "median", "mean", "runs"}
+_PORTFOLIO_KEYS = {"budget", "status", "winner", "upper", "lower", "ratio", "members"}
+_PORTFOLIO_MEMBER_KEYS = {"name", "state", "status", "wall_time"}
 
 
 class BenchSchemaError(ValueError):
@@ -193,6 +207,46 @@ def _check_optional_comparison(
         )
 
 
+def _check_portfolio(label: str, block: Any) -> None:
+    """The nullable per-case portfolio block (budget race outcome)."""
+    if not isinstance(block, dict):
+        raise BenchSchemaError(f"{label}: portfolio block must be an object")
+    _require_keys(label, block, _PORTFOLIO_KEYS)
+    if not isinstance(block["budget"], (int, float)) or block["budget"] <= 0:
+        raise BenchSchemaError(f"{label}.budget: must be a positive number")
+    if not isinstance(block["status"], str) or not block["status"]:
+        raise BenchSchemaError(f"{label}.status: must be a non-empty string")
+    if block["winner"] is not None and not isinstance(block["winner"], str):
+        raise BenchSchemaError(f"{label}.winner: must be a string or null")
+    if not isinstance(block["upper"], (int, float)):
+        raise BenchSchemaError(f"{label}.upper: must be a number")
+    for key in ("lower", "ratio"):
+        if block[key] is not None and not isinstance(block[key], (int, float)):
+            raise BenchSchemaError(f"{label}.{key}: must be a number or null")
+    members = block["members"]
+    if not isinstance(members, list) or not members:
+        raise BenchSchemaError(f"{label}.members: must be a non-empty list")
+    for index, member in enumerate(members):
+        member_label = f"{label}.members[{index}]"
+        if not isinstance(member, dict):
+            raise BenchSchemaError(f"{member_label}: must be an object")
+        _require_keys(member_label, member, _PORTFOLIO_MEMBER_KEYS)
+        if not isinstance(member["name"], str) or not member["name"]:
+            raise BenchSchemaError(f"{member_label}.name: must be a non-empty string")
+        if member["state"] not in ("ran", "cancelled"):
+            raise BenchSchemaError(
+                f"{member_label}.state: must be 'ran' or 'cancelled'"
+            )
+        if member["status"] is not None and not isinstance(member["status"], str):
+            raise BenchSchemaError(f"{member_label}.status: must be a string or null")
+        if member["wall_time"] is not None and not isinstance(
+            member["wall_time"], (int, float)
+        ):
+            raise BenchSchemaError(
+                f"{member_label}.wall_time: must be a number or null"
+            )
+
+
 def validate_report(data: Any) -> None:
     """Raise :class:`BenchSchemaError` unless ``data`` matches the schema exactly."""
     if not isinstance(data, dict):
@@ -249,6 +303,8 @@ def validate_report(data: Any) -> None:
         _check_optional_comparison(label, case, "engine_v1", "speedup_vs_v1")
         _check_optional_comparison(label, case, "engine_v3", "speedup_vs_v2")
         _check_optional_comparison(label, case, "decomposed", "speedup_vs_mono")
+        if case["portfolio"] is not None:
+            _check_portfolio(f"{label}.portfolio", case["portfolio"])
         if not isinstance(case["engine_stats"], dict):
             raise BenchSchemaError(f"{label}.engine_stats: must be an object")
         for key, value in case["engine_stats"].items():
@@ -360,6 +416,12 @@ def compare_reports(
         reference = committed_by_name.get(name)
         if reference is None:
             unmatched.append(name)
+            continue
+        if case.get("portfolio") is not None or reference.get("portfolio") is not None:
+            # Portfolio cases spend their wall-clock budget by design and
+            # carry no within-run v1 ratio, so an absolute-time gate on
+            # them would only measure the CI runner, not the code.
+            skipped.append(name)
             continue
         if reference["engine"]["median"] < min_median:
             skipped.append(name)

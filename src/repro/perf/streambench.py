@@ -1,0 +1,209 @@
+"""Throughput microbenchmark for the :func:`repro.runtime.solve_stream` pipeline.
+
+``repro-sched bench --stream`` measures how many *distinct* small problems
+per second the streaming solve pipeline sustains on each available
+backend.  Distinct instances matter: the pipeline dedupes canonically
+identical problems in flight, so a naive microbench of one repeated
+instance would measure the dedupe cache, not the pipeline.
+
+The report gets its own schema (``STREAM_SCHEMA``) — it shares nothing
+with the interval-DP benchmark (``BENCH_dp.json``) beyond the timing
+discipline, and throughput numbers are machine-dependent by nature, so
+they are recorded for trend reading, never gated.
+
+Report shape::
+
+    schema        the literal STREAM_SCHEMA id
+    seed          instance-generator seed
+    num_problems  problems streamed per backend run
+    num_jobs      jobs per problem
+    repeats       timed repetitions per backend
+    environment   same fingerprint block as the DP benchmark
+    backends      [{"backend", "workers", "timing", "jobs_per_second",
+                    "problems_per_second"}]
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from ..api.problem import Problem
+from ..core.jobs import OneIntervalInstance
+from .bench import time_callable
+from .report import BenchSchemaError, environment_fingerprint
+
+__all__ = [
+    "STREAM_SCHEMA",
+    "run_stream_bench",
+    "validate_stream_report",
+    "write_stream_report",
+]
+
+STREAM_SCHEMA = "repro.perf/bench-stream/v1"
+
+#: Stream-bench defaults; small enough that the full backend sweep stays a
+#: few seconds, large enough that per-problem dispatch overhead dominates.
+DEFAULT_NUM_PROBLEMS = 200
+DEFAULT_NUM_JOBS = 8
+
+_TOP_KEYS = {
+    "schema",
+    "seed",
+    "num_problems",
+    "num_jobs",
+    "repeats",
+    "environment",
+    "backends",
+}
+_BACKEND_KEYS = {
+    "backend",
+    "workers",
+    "timing",
+    "jobs_per_second",
+    "problems_per_second",
+}
+
+
+def _stream_problems(
+    seed: int, num_problems: int, num_jobs: int
+) -> List[Problem]:
+    """Distinct feasible one-interval problems (defeats in-flight dedupe)."""
+    rng = random.Random(seed)
+    problems: List[Problem] = []
+    for index in range(num_problems):
+        # A per-problem base offset keeps instances canonically distinct
+        # even when the sampled windows coincide.
+        base = index * 4 * num_jobs
+        pairs = []
+        for j in range(num_jobs):
+            release = base + 2 * j + rng.randrange(2)
+            pairs.append((release, release + 2 + rng.randrange(3)))
+        problems.append(
+            Problem(
+                objective="gaps", instance=OneIntervalInstance.from_pairs(pairs)
+            )
+        )
+    return problems
+
+
+def run_stream_bench(
+    seed: int = 0,
+    num_problems: Optional[int] = None,
+    num_jobs: Optional[int] = None,
+    repeats: Optional[int] = None,
+    backends: Optional[List[str]] = None,
+) -> Dict:
+    """Measure solve_stream throughput per backend; returns the report dict.
+
+    Every backend drains the same ``num_problems`` distinct problems; the
+    best-of-``repeats`` wall time yields the throughput columns.  Results
+    are asserted feasible — a backend that streamed errors fast would
+    otherwise win the comparison.
+    """
+    from ..runtime import available_backends
+    from ..runtime.stream import solve_stream
+
+    num_problems = DEFAULT_NUM_PROBLEMS if num_problems is None else num_problems
+    num_jobs = DEFAULT_NUM_JOBS if num_jobs is None else num_jobs
+    repeats = 3 if repeats is None else repeats
+    if num_problems < 1 or num_jobs < 1 or repeats < 1:
+        raise ValueError("num_problems, num_jobs and repeats must be >= 1")
+    names = list(backends) if backends is not None else list(available_backends())
+    problems = _stream_problems(seed, num_problems, num_jobs)
+
+    records: List[Dict] = []
+    for name in names:
+
+        def drain() -> None:
+            for result in solve_stream(problems, backend=name):
+                if result.status == "error":
+                    raise AssertionError(
+                        f"stream bench: backend {name!r} produced an error "
+                        f"result: {result.extra.get('error')}"
+                    )
+
+        timing = time_callable(drain, repeats=repeats, warmup=1)
+        best = max(timing["best"], 1e-12)
+        records.append(
+            {
+                "backend": name,
+                "workers": None,
+                "timing": timing,
+                "jobs_per_second": num_problems * num_jobs / best,
+                "problems_per_second": num_problems / best,
+            }
+        )
+
+    return {
+        "schema": STREAM_SCHEMA,
+        "seed": seed,
+        "num_problems": num_problems,
+        "num_jobs": num_jobs,
+        "repeats": repeats,
+        "environment": environment_fingerprint(),
+        "backends": records,
+    }
+
+
+def validate_stream_report(data: object) -> None:
+    """Raise :class:`BenchSchemaError` unless ``data`` matches STREAM_SCHEMA."""
+    if not isinstance(data, dict):
+        raise BenchSchemaError("stream report must be a JSON object")
+    actual = set(data)
+    missing = _TOP_KEYS - actual
+    unexpected = actual - _TOP_KEYS
+    if missing:
+        raise BenchSchemaError(f"stream report: missing keys {sorted(missing)}")
+    if unexpected:
+        raise BenchSchemaError(f"stream report: unexpected keys {sorted(unexpected)}")
+    if data["schema"] != STREAM_SCHEMA:
+        raise BenchSchemaError(
+            f"schema id {data['schema']!r} does not match {STREAM_SCHEMA!r}"
+        )
+    for key in ("seed", "num_problems", "num_jobs", "repeats"):
+        if not isinstance(data[key], int):
+            raise BenchSchemaError(f"stream report.{key} must be an integer")
+    if not isinstance(data["environment"], dict):
+        raise BenchSchemaError("stream report.environment must be an object")
+    entries = data["backends"]
+    if not isinstance(entries, list) or not entries:
+        raise BenchSchemaError("stream report.backends must be a non-empty list")
+    seen = set()
+    for index, entry in enumerate(entries):
+        label = f"backends[{index}]"
+        if not isinstance(entry, dict):
+            raise BenchSchemaError(f"{label}: must be an object")
+        actual = set(entry)
+        if actual != _BACKEND_KEYS:
+            raise BenchSchemaError(
+                f"{label}: keys {sorted(actual)} != {sorted(_BACKEND_KEYS)}"
+            )
+        if not isinstance(entry["backend"], str) or not entry["backend"]:
+            raise BenchSchemaError(f"{label}.backend: must be a non-empty string")
+        if entry["backend"] in seen:
+            raise BenchSchemaError(f"{label}.backend: duplicate {entry['backend']!r}")
+        seen.add(entry["backend"])
+        if entry["workers"] is not None and not isinstance(entry["workers"], int):
+            raise BenchSchemaError(f"{label}.workers: must be an integer or null")
+        for key in ("jobs_per_second", "problems_per_second"):
+            if not isinstance(entry[key], (int, float)) or entry[key] <= 0:
+                raise BenchSchemaError(f"{label}.{key}: must be a positive number")
+        timing = entry["timing"]
+        if not isinstance(timing, dict) or set(timing) != {
+            "best",
+            "median",
+            "mean",
+            "runs",
+        }:
+            raise BenchSchemaError(f"{label}.timing: malformed timing block")
+
+
+def write_stream_report(data: Dict, path: str) -> None:
+    """Validate ``data`` and write it as deterministic, indented JSON."""
+    import json
+
+    validate_stream_report(data)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+        handle.write("\n")

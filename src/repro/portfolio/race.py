@@ -1,0 +1,274 @@
+"""The portfolio racer: members, deadline dispatch, and gap certification.
+
+Cancellation semantics follow what the runtime layer can actually deliver:
+members not yet dispatched when the deadline passes are *cancelled*
+(recorded as such, never run), the local-search members stop sweeping
+cooperatively at the deadline (via
+:func:`repro.api.solvers.heuristic_deadline`), and the exact DP — the only
+member that cannot be interrupted once started — is admitted only when the
+instance is small enough (:data:`DEFAULT_EXACT_JOB_LIMIT`) and budget
+remains.  Running threads are never killed; the race is deterministic
+given the member order, which is fixed cheapest-first.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Tuple
+
+from ..api.problem import Problem
+from ..api.registry import capable_solvers, solve
+from ..api.result import SolveResult
+from ..api.solvers import heuristic_deadline
+from ..bounds import hall_deficiency, lower_bound_for
+from ..core.exceptions import ReproError, SolverError
+from ..core.jobs import OneIntervalInstance
+from ..runtime.backends import resolve_backend
+from ..verify.certificates import values_close
+
+__all__ = ["DEFAULT_EXACT_JOB_LIMIT", "default_members", "run_portfolio"]
+
+#: Largest instance the exact DP member is admitted on.  Beyond this the DP
+#: cannot be cancelled mid-solve, so the racer refuses to start it.
+DEFAULT_EXACT_JOB_LIMIT = 400
+
+#: Fraction of the budget that must remain for the exact DP to be dispatched.
+_EXACT_DISPATCH_FRACTION = 0.2
+
+#: Member order per objective, cheapest first.  The exact DP rides last and
+#: only when admitted.
+_HEURISTIC_MEMBERS = {
+    "gaps": ("edf-gap", "localsearch-gap"),
+    "power": ("edf-power", "localsearch-power"),
+}
+_EXACT_MEMBERS = {"gaps": "gap-dp", "power": "power-dp"}
+
+
+def default_members(
+    problem: Problem, exact_job_limit: int = DEFAULT_EXACT_JOB_LIMIT
+) -> List[str]:
+    """The racing roster for ``problem``, cheapest member first.
+
+    Single-processor one-interval instances get the scalable heuristics
+    plus the exact DP when ``n <= exact_job_limit``; every other
+    instance/objective combination degrades to the automatic-dispatch
+    solver alone (still budget-accounted, still enveloped).
+    """
+    instance = problem.instance
+    capable = {spec.name for spec in capable_solvers(problem)}
+    members: List[str] = []
+    if isinstance(instance, OneIntervalInstance):
+        members = [
+            name
+            for name in _HEURISTIC_MEMBERS.get(problem.objective, ())
+            if name in capable
+        ]
+        exact = _EXACT_MEMBERS.get(problem.objective)
+        if exact in capable and instance.num_jobs <= exact_job_limit:
+            members.append(exact)
+    if not members:
+        # Fallback roster: whatever automatic dispatch would run.
+        auto = [spec.name for spec in capable_solvers(problem) if spec.kind != "baseline"]
+        if not auto:
+            raise SolverError(
+                f"no portfolio member can handle objective "
+                f"{problem.objective!r} on {type(instance).__name__}"
+            )
+        members = [auto[0]]
+    return members
+
+
+def _race_member(payload: Tuple[Problem, str, float]) -> SolveResult:
+    """Worker-side member solve (module-level so process backends pickle it)."""
+    problem, member, remaining = payload
+    deadline = time.perf_counter() + remaining
+    try:
+        with heuristic_deadline(deadline):
+            return solve(problem, solver=member)
+    except ReproError as exc:
+        return SolveResult(
+            status="error",
+            objective=problem.objective,
+            value=None,
+            schedule=None,
+            extra={"error_type": type(exc).__name__, "error": str(exc)},
+        )
+
+
+def _is_exact_member(problem: Problem, name: str) -> bool:
+    return name == _EXACT_MEMBERS.get(problem.objective)
+
+
+def run_portfolio(
+    problem: Problem,
+    budget: float,
+    *,
+    seed: int = 0,
+    backend=None,
+    workers: Optional[int] = None,
+    members: Optional[List[str]] = None,
+    exact_job_limit: int = DEFAULT_EXACT_JOB_LIMIT,
+) -> SolveResult:
+    """Race portfolio members under ``budget`` seconds of wall clock.
+
+    Returns the best feasible member answer in the uniform envelope, with
+    ``solver="portfolio"``, ``extra["optimality_gap"]`` carrying the
+    certified ``lower/upper/ratio`` triple (when a lower bound exists for
+    the instance class), and ``extra["portfolio"]`` recording the budget,
+    the winner, and every member's outcome — including the ones cancelled
+    at the deadline.
+
+    Deterministic given ``seed`` and a sufficient budget: the roster, the
+    dispatch order, and the best-value-then-cheapest tie-break are all
+    fixed (``seed`` is reserved for randomized future members; none of the
+    current roster uses randomness).
+    """
+    if budget <= 0:
+        raise ValueError(f"budget must be positive, got {budget}")
+    start = time.perf_counter()
+    deadline = start + budget
+    roster = list(
+        members
+        if members is not None
+        else default_members(problem, exact_job_limit)
+    )
+    bound = lower_bound_for(problem)
+
+    # Two dispatch waves.  Wave 1: the cooperative heuristics — cheap,
+    # deadline-aware, raced concurrently where the backend allows.  Wave 2:
+    # the exact DP, admitted against the *measured* remaining budget (on
+    # the serial backend a submit only executes at pop time, so deciding
+    # the DP before the heuristics have actually run would race against a
+    # clock that hasn't started).
+    wave1 = [name for name in roster if not _is_exact_member(problem, name)]
+    wave2 = [name for name in roster if _is_exact_member(problem, name)]
+    results: Dict[str, SolveResult] = {}
+    cancelled: List[str] = []
+    backend_obj = resolve_backend(backend, workers)
+    with backend_obj.session(_race_member) as session:
+        in_flight: List[str] = []
+        for name in wave1:
+            remaining = deadline - time.perf_counter()
+            if remaining <= 0 and in_flight:
+                cancelled.append(name)
+                continue
+            session.submit(len(in_flight), (problem, name, max(remaining, 0.01)))
+            in_flight.append(name)
+        for _ in range(len(in_flight)):
+            tag, outcome = session.pop()
+            results[in_flight[tag]] = outcome
+        for name in wave2:
+            remaining = deadline - time.perf_counter()
+            if results and remaining < budget * _EXACT_DISPATCH_FRACTION:
+                # The DP cannot be stopped once started; with this little
+                # budget left, admitting it would blow the deadline.
+                cancelled.append(name)
+                continue
+            session.submit(0, (problem, name, max(remaining, 0.01)))
+            _tag, outcome = session.pop()
+            results[name] = outcome
+
+    records: List[Dict[str, object]] = []
+    for name in roster:
+        if name in results:
+            res = results[name]
+            records.append(
+                {
+                    "name": name,
+                    "state": "ran",
+                    "status": res.status,
+                    "value": res.value,
+                    "wall_time": res.wall_time,
+                }
+            )
+        elif name in cancelled:
+            records.append({"name": name, "state": "cancelled"})
+
+    total = time.perf_counter() - start
+    portfolio_extra: Dict[str, object] = {
+        "budget": budget,
+        "seed": seed,
+        "members": records,
+        "winner": None,
+        "lower_bound": bound.to_dict() if bound is not None else None,
+    }
+
+    completed = [
+        (name, results[name]) for name in roster
+        if name in results and results[name].status != "error"
+    ]
+    if not completed:
+        errors = {
+            name: results[name].extra for name in results
+            if results[name].status == "error"
+        }
+        raise SolverError(
+            f"every portfolio member failed within the {budget}s budget: {errors}"
+        )
+
+    feasible = [(name, res) for name, res in completed if res.feasible]
+    if not feasible:
+        # The EDF members decide feasibility exactly on one-interval
+        # instances; attach the scalable Hall certificate when budget
+        # remains for it.
+        if isinstance(problem.instance, OneIntervalInstance) and (
+            time.perf_counter() < deadline
+        ):
+            cert = hall_deficiency(problem.instance)
+            portfolio_extra["infeasibility"] = cert.to_dict()
+        result = SolveResult(
+            status="infeasible",
+            objective=problem.objective,
+            value=None,
+            schedule=None,
+            extra={"portfolio": portfolio_extra},
+        )
+        result.solver = "portfolio"
+        result.wall_time = time.perf_counter() - start
+        return result
+
+    # Best value wins; ties prefer a proven-optimal member, then the
+    # cheaper (earlier-roster) one.
+    winner_name, winner = min(
+        feasible,
+        key=lambda item: (
+            item[1].value,
+            0 if item[1].status == "optimal" else 1,
+            roster.index(item[0]),
+        ),
+    )
+    portfolio_extra["winner"] = winner_name
+    value = winner.value
+
+    # A completed exact member pins the true optimum, which is the
+    # tightest possible lower bound for the gap envelope.
+    exact_values = [res.value for _name, res in feasible if res.status == "optimal"]
+    exact_win = bool(exact_values)
+    lower: Optional[float] = min(exact_values) if exact_win else (
+        bound.value if bound is not None else None
+    )
+    ratio: Optional[float] = None
+    if lower is not None:
+        if lower > 0:
+            ratio = value / lower
+        elif values_close(value, 0.0):
+            ratio = 1.0
+    optimal = exact_win or (ratio is not None and values_close(ratio, 1.0))
+
+    extra: Dict[str, object] = {
+        "exact": optimal,
+        "portfolio": portfolio_extra,
+    }
+    if lower is not None:
+        extra["optimality_gap"] = {"lower": lower, "upper": value, "ratio": ratio}
+    result = SolveResult(
+        status="optimal" if optimal else "approximate",
+        objective=problem.objective,
+        value=value,
+        schedule=winner.schedule,
+        guarantee_factor=1.0 if optimal else ratio,
+        extra=extra,
+    )
+    result.solver = "portfolio"
+    result.wall_time = time.perf_counter() - start
+    return result

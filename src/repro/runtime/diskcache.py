@@ -137,15 +137,23 @@ class DiskSolveCache:
             with self._lock:
                 self.misses += 1
             return None
-        assignment = data["assignment"]
-        entry = (
-            bool(data["feasible"]),
-            data["value"],
-            None
-            if assignment is None
-            else tuple((int(slot), int(col)) for slot, col in assignment),
-            data["engine_meta"],
-        )
+        try:
+            assignment = data["assignment"]
+            entry = (
+                bool(data["feasible"]),
+                data["value"],
+                None
+                if assignment is None
+                else tuple((int(slot), int(col)) for slot, col in assignment),
+                data["engine_meta"],
+            )
+        except (KeyError, TypeError, ValueError):
+            # A file that parses as JSON but no longer decodes as an entry
+            # (hand-edited, bit-rotted, or written by a future format) is
+            # as dead as a torn one: miss, solve fresh, overwrite.
+            with self._lock:
+                self.misses += 1
+            return None
         with self._lock:
             self.hits += 1
         return entry

@@ -28,6 +28,7 @@ Quickstart::
 
 from .certificates import (
     Certificate,
+    certify_bound,
     certify_result,
     independent_gap_count,
     independent_power_cost,
@@ -61,10 +62,16 @@ from .fuzz import (
     replay,
     save_corpus,
 )
+from .portfolio_fuzz import (
+    PortfolioFuzzFailure,
+    PortfolioFuzzReport,
+    portfolio_fuzz,
+)
 
 __all__ = [
     # certificates
     "Certificate",
+    "certify_bound",
     "certify_result",
     "recompute_value",
     "independent_gap_count",
@@ -94,4 +101,8 @@ __all__ = [
     "replay",
     "save_corpus",
     "load_corpus",
+    # portfolio differential fuzzing
+    "PortfolioFuzzFailure",
+    "PortfolioFuzzReport",
+    "portfolio_fuzz",
 ]

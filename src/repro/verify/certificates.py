@@ -34,6 +34,7 @@ from ..api.result import STATUSES, SolveResult
 
 __all__ = [
     "Certificate",
+    "certify_bound",
     "certify_result",
     "recompute_value",
     "independent_gap_count",
@@ -298,7 +299,237 @@ def certify_result(
         issues.append(
             f"reported value {result.value} != recomputed value {recomputed}"
         )
+    _check_optimality_gap(result, issues)
     return Certificate(ok=not issues, issues=issues, recomputed_value=recomputed)
+
+
+def _check_optimality_gap(result: SolveResult, issues: List[str]) -> None:
+    """Consistency of an ``extra["optimality_gap"]`` envelope, when present.
+
+    The contract (portfolio and certified-heuristic results): ``upper`` is
+    the result's own value, ``lower <= upper``, and ``ratio`` is
+    ``upper / lower`` when ``lower > 0``, ``1.0`` when both are zero, and
+    ``None`` when no finite multiplicative factor exists.
+    """
+    gap = result.extra.get("optimality_gap")
+    if gap is None:
+        return
+    if not isinstance(gap, dict) or not {"lower", "upper", "ratio"} <= set(gap):
+        issues.append(f"malformed optimality_gap payload {gap!r}")
+        return
+    lower, upper, ratio = gap["lower"], gap["upper"], gap["ratio"]
+    if not isinstance(lower, (int, float)) or not isinstance(upper, (int, float)):
+        issues.append(f"optimality_gap bounds must be numbers, got {gap!r}")
+        return
+    if lower > upper + TOLERANCE:
+        issues.append(f"optimality_gap lower {lower} exceeds upper {upper}")
+    if result.value is not None and not values_close(upper, result.value):
+        issues.append(
+            f"optimality_gap upper {upper} != result value {result.value}"
+        )
+    if ratio is not None:
+        if ratio < 1.0 - TOLERANCE:
+            issues.append(f"optimality_gap ratio {ratio} < 1")
+        if lower > 0:
+            if not values_close(ratio, upper / lower):
+                issues.append(
+                    f"optimality_gap ratio {ratio} != upper/lower "
+                    f"{upper / lower}"
+                )
+        elif not values_close(upper, 0.0) or not values_close(ratio, 1.0):
+            issues.append(
+                f"optimality_gap claims finite ratio {ratio} with lower "
+                f"bound {lower} and upper bound {upper}"
+            )
+
+
+# ---------------------------------------------------------------------------
+# lower-bound certificates (repro.bounds)
+# ---------------------------------------------------------------------------
+def _coverage_recount(instance, length: int) -> int:
+    """Max windows intersecting a ``length``-slot interval, re-derived.
+
+    Deliberately not :func:`repro.bounds.lower.interval_coverage`: the
+    sweep's maximum is attained at some shifted start ``r_j - length + 1``,
+    so probing exactly those candidates with bisection recounts it
+    independently.
+    """
+    from bisect import bisect_right
+
+    releases = sorted(job.release for job in instance.jobs)
+    deadlines = sorted(job.deadline for job in instance.jobs)
+    n = len(releases)
+    best = 0
+    for r in releases:
+        t = r - length + 1
+        # windows with r_i <= t + length - 1 and d_i >= t
+        have_release = bisect_right(releases, t + length - 1)
+        dead_before = bisect_right(deadlines, t - 1)
+        best = max(best, have_release - dead_before)
+    return best
+
+
+def _check_components(instance, components, issues: List[str]) -> None:
+    """Validity of a window-component witness: separation and coverage."""
+    spans = [tuple(span) for span in components]
+    for (a1, b1), (a2, b2) in zip(spans, spans[1:]):
+        if a2 <= b1 + 1:
+            issues.append(
+                f"components {[a1, b1]} and {[a2, b2]} are not separated "
+                "by uncovered time"
+            )
+    occupied = [False] * len(spans)
+    starts = [a for a, _b in spans]
+    from bisect import bisect_right
+
+    for idx, job in enumerate(instance.jobs):
+        pos = bisect_right(starts, job.release) - 1
+        if pos < 0 or job.deadline > spans[pos][1]:
+            issues.append(
+                f"job {idx} window {list(job.window)} is not contained in "
+                "any claimed component"
+            )
+            return
+        occupied[pos] = True
+    if not all(occupied) and instance.num_jobs > 0:
+        empty = [list(spans[i]) for i, used in enumerate(occupied) if not used]
+        issues.append(f"components {empty} contain no job window")
+
+
+def _check_density(instance, density, issues: List[str]) -> int:
+    """Re-check a block-length-cap witness; returns its gap bound (or 0)."""
+    if density is None:
+        return 0
+    probe, cap = density.get("probe"), density.get("cap")
+    if not isinstance(probe, int) or not isinstance(cap, int) or cap != probe - 1:
+        issues.append(f"malformed density witness {density!r}")
+        return 0
+    coverage = _coverage_recount(instance, probe)
+    if coverage >= probe:
+        issues.append(
+            f"density witness claims coverage {density.get('coverage')} < "
+            f"{probe}, but {coverage} windows intersect a {probe}-slot interval"
+        )
+        return 0
+    n = instance.num_jobs
+    bound = (n + cap - 1) // cap - 1 if cap > 0 else 0
+    if density.get("bound") != bound:
+        issues.append(
+            f"density witness bound {density.get('bound')} != recomputed {bound}"
+        )
+    return bound
+
+
+def certify_bound(problem: Problem, bound) -> Certificate:
+    """Independently re-check a :class:`repro.bounds.BoundCertificate`.
+
+    Accepts the certificate object or its ``to_dict()`` form (the shape
+    embedded in ``SolveResult.extra``).  Every witness kind is re-derived
+    from the instance with independent arithmetic; the certificate is the
+    proof, the original sweep is never re-run.
+    """
+    from ..bounds import BoundCertificate
+
+    if isinstance(bound, dict):
+        bound = BoundCertificate.from_dict(bound)
+    issues: List[str] = []
+    instance = problem.instance
+    if isinstance(instance, MultiprocessorInstance) and instance.num_processors == 1:
+        instance = instance.single_processor_view()
+
+    if bound.kind == "gap-structure":
+        if problem.objective != "gaps":
+            issues.append(
+                f"gap bound certified against a {problem.objective!r} problem"
+            )
+        if not isinstance(instance, OneIntervalInstance):
+            issues.append("gap-structure bounds require a one-interval instance")
+            return Certificate(ok=False, issues=issues)
+        components = bound.witness.get("components", [])
+        _check_components(instance, components, issues)
+        component_bound = max(0, len(components) - 1)
+        density_bound = _check_density(
+            instance, bound.witness.get("density"), issues
+        )
+        if bound.value != max(component_bound, density_bound):
+            issues.append(
+                f"gap bound {bound.value} != max(components {component_bound}, "
+                f"density {density_bound})"
+            )
+    elif bound.kind == "power-structure":
+        if problem.objective != "power":
+            issues.append(
+                f"power bound certified against a {problem.objective!r} problem"
+            )
+        if not isinstance(instance, OneIntervalInstance):
+            issues.append("power-structure bounds require a one-interval instance")
+            return Certificate(ok=False, issues=issues)
+        alpha = float(bound.alpha if bound.alpha is not None else problem.alpha)
+        if problem.alpha is not None and not values_close(alpha, problem.alpha):
+            issues.append(
+                f"bound alpha {alpha} != problem alpha {problem.alpha}"
+            )
+        components = bound.witness.get("components", [])
+        _check_components(instance, components, issues)
+        seams = [
+            components[i + 1][0] - components[i][1] - 1
+            for i in range(len(components) - 1)
+        ]
+        if list(bound.witness.get("seams", [])) != seams:
+            issues.append(
+                f"seam witness {bound.witness.get('seams')} != recomputed {seams}"
+            )
+        density_bound = _check_density(
+            instance, bound.witness.get("density"), issues
+        )
+        n = instance.num_jobs
+        idle = max(
+            sum(min(float(s), alpha) for s in seams),
+            density_bound * min(1.0, alpha),
+        )
+        expected = n + alpha + idle if n else 0.0
+        if not values_close(bound.value, expected):
+            issues.append(f"power bound {bound.value} != recomputed {expected}")
+    elif bound.kind == "hall-deficiency":
+        windows = [job.window for job in instance.jobs]
+        p = bound.witness.get(
+            "num_processors",
+            instance.num_processors
+            if isinstance(instance, MultiprocessorInstance)
+            else 1,
+        )
+        if not windows:
+            if bound.value != 0:
+                issues.append(f"empty instance with nonzero deficiency {bound.value}")
+        else:
+            x, y = bound.witness.get("x"), bound.witness.get("y")
+            if not isinstance(x, int) or not isinstance(y, int):
+                issues.append(f"hall witness lacks a window: {bound.witness!r}")
+            else:
+                demand = sum(1 for r, d in windows if r >= x and d <= y)
+                capacity = p * (y - x + 1)
+                if demand - capacity != bound.value:
+                    issues.append(
+                        f"hall deficiency {bound.value} != recomputed "
+                        f"{demand} - {capacity} on window [{x}, {y}]"
+                    )
+    elif bound.kind == "matching-feasibility":
+        from ..core.feasibility import build_job_slot_graph
+        from ..matching import hopcroft_karp
+
+        graph = build_job_slot_graph(instance)
+        match_left, _right = hopcroft_karp(graph)
+        size = sum(1 for m in match_left if m != -1)
+        shortfall = instance.num_jobs - size
+        if shortfall != bound.value:
+            issues.append(
+                f"matching shortfall {bound.value} != recomputed {shortfall}"
+            )
+    else:
+        issues.append(f"unknown bound kind {bound.kind!r}")
+    return Certificate(
+        ok=not issues, issues=issues, recomputed_value=bound.value
+    )
 
 
 def _independently_feasible(instance) -> bool:

@@ -136,7 +136,13 @@ class TestRegistryDispatch:
         spec = get_solver("gap-dp")
         assert spec.kind == "exact"
         names = [s.name for s in list_solvers(objective="power")]
-        assert names == ["power-dp", "power-approx", "brute-force-power"]
+        assert names == [
+            "power-dp",
+            "power-approx",
+            "edf-power",
+            "localsearch-power",
+            "brute-force-power",
+        ]
 
     def test_duplicate_registration_rejected(self):
         with pytest.raises(ValueError):

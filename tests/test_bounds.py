@@ -1,0 +1,236 @@
+"""Tests for ``repro.bounds`` — certified lower bounds and their checkers.
+
+Every bound here must be *sound* (never exceed the true optimum) and its
+certificate must re-verify through ``repro.verify.certify_bound``; both
+properties are checked against the exact DPs on seeded random instances,
+and the checker is shown to reject tampered witnesses.
+"""
+
+import random
+
+import pytest
+
+from repro.api import Problem, solve
+from repro.bounds import (
+    BoundCertificate,
+    gap_lower_bound,
+    hall_deficiency,
+    lower_bound_for,
+    matching_feasibility,
+    power_lower_bound,
+    window_components,
+)
+from repro.core.jobs import (
+    MultiIntervalInstance,
+    MultiprocessorInstance,
+    OneIntervalInstance,
+)
+from repro.matching.hall import hall_violation
+from repro.verify import certify_bound
+
+
+def random_instance(rng, max_jobs=12):
+    n = rng.randint(1, max_jobs)
+    horizon = rng.randint(max(2, n // 2), 3 * n + 4)
+    pairs = []
+    for _ in range(n):
+        r = rng.randrange(horizon)
+        pairs.append((r, r + rng.randint(0, horizon - r)))
+    return OneIntervalInstance.from_pairs(pairs)
+
+
+class TestWindowComponents:
+    def test_disjoint_windows_split(self):
+        inst = OneIntervalInstance.from_pairs([(0, 2), (10, 12), (20, 22)])
+        assert window_components(inst) == [(0, 2), (10, 12), (20, 22)]
+
+    def test_touching_windows_merge(self):
+        # (0,2) and (3,5) touch: an idle-free schedule across them exists.
+        inst = OneIntervalInstance.from_pairs([(0, 2), (3, 5)])
+        assert window_components(inst) == [(0, 5)]
+
+    def test_overlapping_windows_merge(self):
+        inst = OneIntervalInstance.from_pairs([(0, 6), (2, 4), (5, 9)])
+        assert window_components(inst) == [(0, 9)]
+
+    def test_empty_instance(self):
+        assert window_components(OneIntervalInstance(())) == []
+
+
+class TestGapLowerBound:
+    def test_component_bound_on_separated_windows(self):
+        inst = OneIntervalInstance.from_pairs([(0, 1), (10, 11), (20, 21)])
+        cert = gap_lower_bound(inst)
+        assert cert.kind == "gap-structure"
+        assert cert.value == 2
+        assert certify_bound(Problem(objective="gaps", instance=inst), cert).ok
+
+    def test_density_bound_on_staircase(self):
+        # 40 jobs, windows of length 31 stepping by 7: no single busy block
+        # can be long, forcing many gaps even though windows overlap.
+        inst = OneIntervalInstance.from_pairs(
+            [(7 * i, 7 * i + 30) for i in range(40)]
+        )
+        cert = gap_lower_bound(inst)
+        assert cert.value > 0
+        assert cert.witness["density"] is not None
+        assert certify_bound(Problem(objective="gaps", instance=inst), cert).ok
+
+    def test_sound_against_exact_dp(self):
+        rng = random.Random(7)
+        checked = 0
+        for _ in range(120):
+            inst = random_instance(rng)
+            problem = Problem(objective="gaps", instance=inst)
+            exact = solve(problem, solver="gap-dp")
+            if exact.status == "infeasible":
+                continue
+            cert = gap_lower_bound(inst)
+            assert cert.value <= exact.value + 1e-9, (
+                inst.jobs,
+                cert.to_dict(),
+                exact.value,
+            )
+            assert certify_bound(problem, cert).ok
+            checked += 1
+        assert checked >= 60
+
+    def test_tampered_witness_rejected(self):
+        inst = OneIntervalInstance.from_pairs([(0, 1), (10, 11)])
+        cert = gap_lower_bound(inst)
+        bad = cert.to_dict()
+        bad["value"] = cert.value + 5
+        problem = Problem(objective="gaps", instance=inst)
+        assert not certify_bound(problem, bad).ok
+
+
+class TestPowerLowerBound:
+    def test_sound_against_exact_dp(self):
+        rng = random.Random(11)
+        checked = 0
+        for _ in range(120):
+            inst = random_instance(rng)
+            alpha = rng.choice([0.5, 1.0, 2.0, 3.5])
+            problem = Problem(objective="power", instance=inst, alpha=alpha)
+            exact = solve(problem, solver="power-dp")
+            if exact.status == "infeasible":
+                continue
+            cert = power_lower_bound(inst, alpha)
+            assert cert.value <= exact.value + 1e-9
+            assert certify_bound(problem, cert).ok
+            checked += 1
+        assert checked >= 60
+
+    def test_empty_instance_costs_nothing(self):
+        cert = power_lower_bound(OneIntervalInstance(()), 2.0)
+        assert cert.value == 0.0
+
+    def test_tampered_seam_rejected(self):
+        inst = OneIntervalInstance.from_pairs([(0, 1), (10, 11)])
+        cert = power_lower_bound(inst, 2.0)
+        bad = cert.to_dict()
+        bad["witness"]["seams"] = [999]
+        problem = Problem(objective="power", instance=inst, alpha=2.0)
+        assert not certify_bound(problem, bad).ok
+
+
+class TestHallDeficiency:
+    def test_matches_quadratic_reference(self):
+        rng = random.Random(3)
+        for _ in range(250):
+            inst = random_instance(rng, max_jobs=10)
+            windows = [(j.release, j.deadline) for j in inst.jobs]
+            cert = hall_deficiency(inst)
+            violation = hall_violation(windows, 1)
+            if violation is None:
+                assert cert.value <= 0, (windows, cert.to_dict())
+            else:
+                x, y, demand, capacity = violation
+                assert cert.value >= demand - capacity > 0 or cert.value > 0
+
+    def test_multiprocessor_capacity(self):
+        pairs = [(0, 1), (0, 1), (0, 1), (0, 1)]
+        single = MultiprocessorInstance.from_pairs(pairs, num_processors=1)
+        double = MultiprocessorInstance.from_pairs(pairs, num_processors=2)
+        assert hall_deficiency(single).value == 2
+        assert hall_deficiency(double).value <= 0
+
+    def test_certificate_roundtrip_and_check(self):
+        inst = OneIntervalInstance.from_pairs([(0, 1), (0, 1), (0, 1)])
+        cert = hall_deficiency(inst)
+        assert cert.proves_infeasible
+        problem = Problem(objective="gaps", instance=inst)
+        assert certify_bound(problem, cert.to_dict()).ok
+        bad = cert.to_dict()
+        bad["witness"]["y"] = bad["witness"]["y"] + 3
+        assert not certify_bound(problem, bad).ok
+
+
+class TestMatchingFeasibility:
+    def test_feasible_instance_has_zero_deficiency(self):
+        inst = OneIntervalInstance.from_pairs([(0, 2), (1, 3), (2, 4)])
+        cert = matching_feasibility(inst)
+        assert cert.value == 0
+        assert not cert.proves_infeasible
+        assert certify_bound(Problem(objective="gaps", instance=inst), cert).ok
+
+    def test_infeasible_instance_counts_unmatched(self):
+        inst = OneIntervalInstance.from_pairs([(0, 0), (0, 0), (0, 0)])
+        cert = matching_feasibility(inst)
+        assert cert.value == 2
+        assert cert.proves_infeasible
+
+    def test_agrees_with_hall_on_feasibility(self):
+        rng = random.Random(19)
+        for _ in range(100):
+            inst = random_instance(rng, max_jobs=9)
+            hall = hall_deficiency(inst)
+            matching = matching_feasibility(inst)
+            assert (hall.value > 0) == (matching.value > 0)
+
+
+class TestLowerBoundFor:
+    def test_dispatches_by_objective(self):
+        inst = OneIntervalInstance.from_pairs([(0, 1), (10, 11)])
+        gaps = lower_bound_for(Problem(objective="gaps", instance=inst))
+        power = lower_bound_for(
+            Problem(objective="power", instance=inst, alpha=2.0)
+        )
+        assert gaps.kind == "gap-structure"
+        assert power.kind == "power-structure"
+
+    def test_unwraps_single_processor_multiproc(self):
+        inst = MultiprocessorInstance.from_pairs(
+            [(0, 1), (10, 11)], num_processors=1
+        )
+        cert = lower_bound_for(Problem(objective="gaps", instance=inst))
+        assert cert is not None and cert.value == 1
+
+    def test_none_for_unsupported_instances(self):
+        multi = MultiIntervalInstance.from_time_lists([[0, 1], [4, 5]])
+        assert (
+            lower_bound_for(Problem(objective="power", instance=multi, alpha=1.0))
+            is None
+        )
+        two_proc = MultiprocessorInstance.from_pairs(
+            [(0, 1), (0, 1)], num_processors=2
+        )
+        assert lower_bound_for(Problem(objective="gaps", instance=two_proc)) is None
+
+
+class TestBoundCertificate:
+    def test_roundtrip(self):
+        cert = BoundCertificate(
+            kind="gap-structure",
+            objective="gaps",
+            value=3,
+            witness={"components": [[0, 2], [5, 6]], "density": None},
+        )
+        again = BoundCertificate.from_dict(cert.to_dict())
+        assert again == cert
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            BoundCertificate(
+                kind="vibes", objective="gaps", value=1, witness={}
+            )

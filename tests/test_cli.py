@@ -240,6 +240,85 @@ class TestFuzzCommand:
         assert excinfo.value.code == 2
 
 
+class TestBudgetedSolve:
+    def make_instance_file(self, tmp_path, obj):
+        path = tmp_path / "input.json"
+        path.write_text(to_json(obj))
+        return str(path)
+
+    def test_solve_budget_prints_certified_gap(self, tmp_path, capsys):
+        from repro.api import OneIntervalInstance
+
+        instance = OneIntervalInstance.from_pairs([(0, 3), (2, 6), (9, 14)])
+        path = self.make_instance_file(tmp_path, instance)
+        code = main(
+            ["solve", "--input", path, "--objective", "gaps", "--budget", "2.0"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "solver: portfolio" in out
+        assert "certified gap:" in out
+
+    def test_solve_budget_json_carries_gap(self, tmp_path, capsys):
+        from repro.api import OneIntervalInstance
+
+        instance = OneIntervalInstance.from_pairs([(0, 3), (2, 6)])
+        path = self.make_instance_file(tmp_path, instance)
+        code = main(
+            ["solve", "--input", path, "--objective", "gaps", "--budget", "2.0",
+             "--json"]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["solver"] == "portfolio"
+        gap = payload["extra"]["optimality_gap"]
+        assert gap["lower"] <= gap["upper"]
+
+    def test_solve_budget_must_be_positive(self, tmp_path):
+        from repro.api import OneIntervalInstance
+
+        instance = OneIntervalInstance.from_pairs([(0, 3)])
+        path = self.make_instance_file(tmp_path, instance)
+        with pytest.raises(SystemExit) as excinfo:
+            main(["solve", "--input", path, "--objective", "gaps",
+                  "--budget", "0"])
+        assert excinfo.value.code == 2
+
+    def test_solve_budget_rejects_explicit_solver(self, tmp_path):
+        from repro.api import OneIntervalInstance
+
+        instance = OneIntervalInstance.from_pairs([(0, 3)])
+        path = self.make_instance_file(tmp_path, instance)
+        with pytest.raises(SystemExit) as excinfo:
+            main(["solve", "--input", path, "--objective", "gaps",
+                  "--budget", "1.0", "--solver", "gap-dp"])
+        assert excinfo.value.code == 2
+
+
+class TestPortfolioFuzz:
+    def test_portfolio_fuzz_green_run(self, capsys):
+        code = main(["fuzz", "--portfolio", "--seed", "0", "--n", "12"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "OK" in out and "12" in out
+
+    def test_portfolio_fuzz_rejects_conflicting_flags(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fuzz", "--portfolio", "--objective", "gaps"])
+        assert excinfo.value.code == 2
+
+    def test_portfolio_fuzz_module_invariants(self):
+        from repro.verify import portfolio_fuzz
+
+        report = portfolio_fuzz(seed=3, n=20, budget=2.0)
+        assert report.ok, report.summary()
+        assert report.cases == 20
+        assert report.feasible_cases + report.infeasible_cases == 20
+        # Exact DP always joins the race at fuzz sizes (n <= 14), so every
+        # feasible case should be certified optimal, not just bounded.
+        assert report.optimal_matches == report.feasible_cases
+
+
 class TestRuntimeFlags:
     """Top-level --backend / --cache-dir flags and the cache sub-command."""
 

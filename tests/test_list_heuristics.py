@@ -1,0 +1,170 @@
+"""Tests for the scalable EDF + block-merge local-search heuristics."""
+
+import random
+import time
+
+import pytest
+
+from repro.api import Problem, solve
+from repro.core.exceptions import InfeasibleInstanceError
+from repro.core.jobs import OneIntervalInstance
+from repro.core.list_heuristics import (
+    LocalSearchResult,
+    edf_list_schedule,
+    merge_local_search,
+)
+from repro.verify import certify_result
+
+
+def random_instance(rng, max_jobs=12):
+    n = rng.randint(1, max_jobs)
+    horizon = rng.randint(max(2, n // 2), 3 * n + 4)
+    pairs = []
+    for _ in range(n):
+        r = rng.randrange(horizon)
+        pairs.append((r, r + rng.randint(0, horizon - r)))
+    return OneIntervalInstance.from_pairs(pairs)
+
+
+class TestEdfListSchedule:
+    def test_feasibility_exact(self):
+        rng = random.Random(5)
+        for _ in range(200):
+            inst = random_instance(rng)
+            exact = solve(Problem(objective="gaps", instance=inst), solver="gap-dp")
+            try:
+                schedule = edf_list_schedule(inst)
+            except InfeasibleInstanceError:
+                assert exact.status == "infeasible"
+                continue
+            assert exact.status != "infeasible"
+            schedule.validate()
+
+    def test_schedules_all_jobs(self):
+        inst = OneIntervalInstance.from_pairs([(0, 3), (1, 4), (2, 5)])
+        schedule = edf_list_schedule(inst)
+        assert len(schedule.assignment) == 3
+
+
+class TestMergeLocalSearch:
+    def test_never_worse_than_edf_on_gaps(self):
+        rng = random.Random(13)
+        for _ in range(150):
+            inst = random_instance(rng)
+            try:
+                edf = edf_list_schedule(inst)
+            except InfeasibleInstanceError:
+                continue
+            result = merge_local_search(inst, objective="gaps")
+            result.schedule.validate()
+            assert result.schedule.num_gaps() <= edf.num_gaps()
+            assert result.merges == edf.num_gaps() - result.schedule.num_gaps()
+
+    def test_never_worse_than_edf_on_power(self):
+        rng = random.Random(17)
+        for _ in range(150):
+            inst = random_instance(rng)
+            alpha = rng.choice([0.5, 1.0, 2.0, 3.5])
+            try:
+                edf = edf_list_schedule(inst)
+            except InfeasibleInstanceError:
+                continue
+            result = merge_local_search(inst, objective="power", alpha=alpha)
+            result.schedule.validate()
+            assert (
+                result.schedule.power_cost(alpha) <= edf.power_cost(alpha) + 1e-9
+            )
+
+    def test_merges_closable_gap(self):
+        # EDF leaves j1 at its release (t=5) creating a gap; the merge pass
+        # shifts it flush against the first block.
+        inst = OneIntervalInstance.from_pairs([(0, 10), (5, 10)])
+        edf = edf_list_schedule(inst)
+        result = merge_local_search(inst, schedule=edf, objective="gaps")
+        assert result.schedule.num_gaps() == 0
+
+    def test_power_requires_alpha(self):
+        inst = OneIntervalInstance.from_pairs([(0, 3)])
+        with pytest.raises(ValueError):
+            merge_local_search(inst, objective="power")
+
+    def test_rejects_unknown_objective(self):
+        inst = OneIntervalInstance.from_pairs([(0, 3)])
+        with pytest.raises(ValueError):
+            merge_local_search(inst, objective="makespan")
+
+    def test_deadline_stops_cooperatively(self):
+        inst = OneIntervalInstance.from_pairs(
+            [(7 * i, 7 * i + 30) for i in range(3000)]
+        )
+        result = merge_local_search(
+            inst, objective="gaps", deadline=time.perf_counter()
+        )
+        assert result.exhausted
+        result.schedule.validate()
+
+    def test_move_budget_bounds_work(self):
+        inst = OneIntervalInstance.from_pairs(
+            [(7 * i, 7 * i + 30) for i in range(500)]
+        )
+        result = merge_local_search(inst, objective="gaps", move_budget_factor=0)
+        assert result.exhausted
+        assert result.moves <= 64  # the budget check runs before each probe
+        result.schedule.validate()
+
+    def test_large_staircase_reaches_density_optimum(self):
+        # Windows of length 31 stepping by 7: any busy block of length 6
+        # can draw on 6 overlapping windows, but length 7 would need 7 jobs
+        # and only 6 windows meet it — so blocks cap at 6 and the certified
+        # density bound of ceil(5000/6) - 1 gaps is tight.
+        from repro.bounds import gap_lower_bound
+
+        inst = OneIntervalInstance.from_pairs(
+            [(7 * i, 7 * i + 30) for i in range(5000)]
+        )
+        result = merge_local_search(inst, objective="gaps")
+        optimum = -(-5000 // 6) - 1
+        assert result.schedule.num_gaps() == optimum
+        assert gap_lower_bound(inst).value == optimum
+
+
+class TestRegisteredHeuristicSolvers:
+    @pytest.mark.parametrize(
+        "solver", ["edf-gap", "localsearch-gap", "edf-power", "localsearch-power"]
+    )
+    def test_certified_against_exact(self, solver):
+        objective = "gaps" if solver.endswith("gap") else "power"
+        rng = random.Random(hash(solver) % 2**32)
+        for _ in range(60):
+            inst = random_instance(rng)
+            alpha = 2.0 if objective == "power" else None
+            problem = Problem(objective=objective, instance=inst, alpha=alpha)
+            exact_name = "gap-dp" if objective == "gaps" else "power-dp"
+            exact = solve(problem, solver=exact_name)
+            result = solve(problem, solver=solver)
+            assert (result.status == "infeasible") == (exact.status == "infeasible")
+            if exact.status == "infeasible":
+                continue
+            assert certify_result(problem, result).ok, certify_result(
+                problem, result
+            ).issues
+            assert result.value >= exact.value - 1e-9
+            gap = result.extra.get("optimality_gap")
+            if gap is not None:
+                assert gap["lower"] <= exact.value + 1e-9
+                assert gap["upper"] == result.value
+
+    def test_heuristics_are_approximate_kind(self):
+        from repro.api import list_solvers
+
+        kinds = {spec.name: spec.kind for spec in list_solvers()}
+        for name in ("edf-gap", "localsearch-gap", "edf-power", "localsearch-power"):
+            assert kinds[name] == "approximate"
+
+    def test_auto_dispatch_still_prefers_exact(self):
+        inst = OneIntervalInstance.from_pairs([(0, 3), (2, 6)])
+        result = solve(Problem(objective="gaps", instance=inst))
+        assert result.solver not in (
+            "edf-gap",
+            "localsearch-gap",
+        ), "auto dispatch must keep preferring the exact DP"

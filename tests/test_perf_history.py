@@ -54,6 +54,7 @@ def make_report(median=0.01, name="gap/test-n10-p1"):
                 "speedup_vs_mono": None,
                 "engine_stats": {"states_computed": 5},
                 "engine_v3_stats": None,
+                "portfolio": None,
             }
         ],
     }

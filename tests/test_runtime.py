@@ -507,6 +507,114 @@ class TestTwoTierCache:
 
 
 # ---------------------------------------------------------------------------
+# satellite: robustness against on-disk entry corruption
+# ---------------------------------------------------------------------------
+class TestDiskCacheCorruption:
+    """A corrupted or truncated entry must read as a miss, never a crash."""
+
+    def _entry_path(self, cache, problem):
+        # There is exactly one entry after a single fresh solve; find it on
+        # disk rather than re-deriving the canonical key by hand.
+        paths = list(cache._walk_entries())
+        assert len(paths) == 1
+        return paths[0]
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            "",  # truncated to nothing
+            '{"format": 1',  # torn mid-write
+            '"just a string"',  # valid JSON, not an entry object
+            json.dumps(
+                {
+                    "format": 1,
+                    "engine_version": "",  # wrong engine tag
+                    "key": "x",
+                    "feasible": True,
+                    "value": 0,
+                    "assignment": [],
+                    "engine_meta": None,
+                }
+            ),
+        ],
+        ids=["empty", "torn", "non-object", "version-mismatch"],
+    )
+    def test_corrupt_entry_is_a_miss_and_resolves_fresh(self, tmp_path, payload):
+        cache = configure_disk_cache(str(tmp_path))
+        clear_solve_cache()
+        problem = shifted_problem(0)
+        first = to_json(solve(problem))
+        path = self._entry_path(cache, problem)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(payload)
+        # New process simulation: drop the memory tier so the disk entry
+        # is the only warm copy left.
+        configure_solve_cache(0)
+        configure_solve_cache(256)
+        clear_solve_cache()
+        cache.reset_counters()
+        second = to_json(solve(problem))
+        assert second == first
+        counters = cache.counters()
+        assert counters["hits"] == 0
+        assert counters["misses"] == 1
+        assert counters["writes"] == 1  # the fresh result overwrote the entry
+        # The overwrite healed the entry: the next cold read is a hit.
+        configure_solve_cache(0)
+        configure_solve_cache(256)
+        clear_solve_cache()
+        assert to_json(solve(problem)) == first
+        assert cache.counters()["hits"] == 1
+
+    def test_malformed_entry_body_is_a_miss(self, tmp_path):
+        # Valid JSON, right format/version/key envelope — but the stored
+        # assignment is garbage.  json.load succeeds; decoding must not.
+        cache = configure_disk_cache(str(tmp_path))
+        clear_solve_cache()
+        problem = shifted_problem(0)
+        first = to_json(solve(problem))
+        path = self._entry_path(cache, problem)
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+        data["assignment"] = [["not-a-slot", {}]]
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(data, handle)
+        configure_solve_cache(0)
+        configure_solve_cache(256)
+        clear_solve_cache()
+        cache.reset_counters()
+        assert to_json(solve(problem)) == first
+        assert cache.counters() == {"hits": 0, "misses": 1, "writes": 1}
+
+    def test_missing_entry_field_is_a_miss(self, tmp_path):
+        cache = DiskSolveCache(str(tmp_path))
+        key = (("gaps",), (1, (0, 2)))
+        cache.put(key, (True, 1, ((0, 1),), None))
+        path = cache._entry_path(cache_key_digest(key))
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+        del data["feasible"]
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(data, handle)
+        assert cache.get(key) is None
+        assert cache.counters()["misses"] == 1
+
+    def test_stream_survives_corrupted_entries(self, tmp_path):
+        cache = configure_disk_cache(str(tmp_path))
+        clear_solve_cache()
+        problems = [shifted_problem(0), shifted_problem(0, seed=11)]
+        first = [to_json(solve(p)) for p in problems]
+        for path in list(cache._walk_entries()):
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write('{"format": 1, "engine_')
+        configure_solve_cache(0)
+        configure_solve_cache(256)
+        clear_solve_cache()
+        results = list(solve_stream(problems))
+        assert [to_json(r) for r in results] == first
+
+
+# ---------------------------------------------------------------------------
 # satellite: cache accounting under concurrency
 # ---------------------------------------------------------------------------
 class TestConcurrentAccounting:
