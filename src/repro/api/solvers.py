@@ -226,18 +226,41 @@ def _cached_exact_solve(
     form, cached = _lookup_canonical(objective_key, problem.instance)
     if cached is not None:
         return _replay_hit(problem, form, cached, extra_base)
-    with _FRESH_LOCK:
-        _FRESH_SOLVES += 1
-    fresh = solve_fresh()
-    feasible, value, schedule, times, engine_meta = fresh[:5]
-    cacheable = fresh[5] if len(fresh) > 5 else True
-    if not feasible:
-        _store_canonical(objective_key, form, False, None, None)
-        return _infeasible(problem)
-    if cacheable:
-        _store_canonical(
-            objective_key, form, True, value, times, _replay_engine_meta(engine_meta)
-        )
+    # Single-flight on the shared disk tier: when several processes (racing
+    # portfolio members, parallel stream workers) miss on the same canonical
+    # key at once, exactly one runs the DP; the rest wait for its entry and
+    # replay it — never counting as a fresh solve.  Lockless when no disk
+    # tier is configured (processes then share no cache to collide in).
+    disk = get_disk_cache()
+    locked = False
+    cache_key = None if form is None else (objective_key, form.key)
+    if disk is not None and cache_key is not None:
+        if disk.try_lock(cache_key):
+            locked = True
+        else:
+            entry = disk.wait_for_entry(cache_key)
+            if entry is not None:
+                _SOLVE_CACHE.put(cache_key, entry)
+                return _replay_hit(problem, form, entry, extra_base)
+            # The flight aborted (killed leader) or timed out: fall through
+            # and solve ourselves, locklessly — correctness over exclusivity.
+    try:
+        with _FRESH_LOCK:
+            _FRESH_SOLVES += 1
+        fresh = solve_fresh()
+        feasible, value, schedule, times, engine_meta = fresh[:5]
+        cacheable = fresh[5] if len(fresh) > 5 else True
+        if not feasible:
+            _store_canonical(objective_key, form, False, None, None)
+            return _infeasible(problem)
+        if cacheable:
+            _store_canonical(
+                objective_key, form, True, value, times,
+                _replay_engine_meta(engine_meta),
+            )
+    finally:
+        if locked:
+            disk.unlock(cache_key)
     return SolveResult(
         status="optimal",
         objective=problem.objective,
@@ -616,6 +639,19 @@ def heuristic_deadline(deadline: Optional[float]):
         _HEURISTIC_DEADLINE.pop()
 
 
+def _publish_times(times: Dict[int, int]) -> None:
+    """Stream a feasible ``job -> time`` map over the any-time channel.
+
+    A no-op outside pool workers; inside one, the racer's parent process
+    can harvest the latest published map as this member's incumbent even
+    after hard-killing it mid-search.  The payload dict is copied only
+    when the throttle actually lets a send through.
+    """
+    from ..runtime.pool import publish_incumbent
+
+    publish_incumbent(lambda: {"times": dict(times)})
+
+
 def _certified_heuristic_result(problem: Problem, schedule, extra: Dict) -> SolveResult:
     """Wrap a heuristic schedule with an honest a-posteriori certificate.
 
@@ -661,6 +697,7 @@ def _certified_heuristic_result(problem: Problem, schedule, extra: Dict) -> Solv
 )
 def _solve_edf_gap(problem: Problem) -> SolveResult:
     schedule = edf_list_schedule(problem.instance)
+    _publish_times(schedule.assignment)
     return _certified_heuristic_result(problem, schedule, {"heuristic": "edf"})
 
 
@@ -673,7 +710,10 @@ def _solve_edf_gap(problem: Problem) -> SolveResult:
 )
 def _solve_localsearch_gap(problem: Problem) -> SolveResult:
     search = merge_local_search(
-        problem.instance, objective="gaps", deadline=_HEURISTIC_DEADLINE[-1]
+        problem.instance,
+        objective="gaps",
+        deadline=_HEURISTIC_DEADLINE[-1],
+        on_improve=_publish_times,
     )
     return _certified_heuristic_result(
         problem,
@@ -696,6 +736,7 @@ def _solve_localsearch_gap(problem: Problem) -> SolveResult:
 )
 def _solve_edf_power(problem: Problem) -> SolveResult:
     schedule = edf_list_schedule(problem.instance)
+    _publish_times(schedule.assignment)
     return _certified_heuristic_result(problem, schedule, {"heuristic": "edf"})
 
 
@@ -712,6 +753,7 @@ def _solve_localsearch_power(problem: Problem) -> SolveResult:
         objective="power",
         alpha=problem.alpha,
         deadline=_HEURISTIC_DEADLINE[-1],
+        on_improve=_publish_times,
     )
     return _certified_heuristic_result(
         problem,

@@ -24,6 +24,15 @@ optimum that cost ``O(n log n)``, each packaged as a
 * :func:`matching_feasibility` — the bipartite-matching oracle
   (:func:`repro.matching.hopcroft_karp`) packaged as a certificate, for
   instances small enough to materialise the job/slot graph.
+* :func:`multiproc_gap_lower_bound` / :func:`multiproc_power_lower_bound` —
+  ``p``-processor bounds from per-window-component Hall deficiency: if
+  component ``i`` alone needs ``m_i`` processors, every schedule has at
+  least ``sum_i m_i - p`` gaps, and the power objective pays at least one
+  wake-up per required processor.
+* :func:`multi_interval_gap_lower_bound` /
+  :func:`multi_interval_power_lower_bound` — multi-interval bounds from the
+  components of the union of allowed times: each component wholly
+  containing some job's allowed set must hold a busy slot.
 * :func:`lower_bound_for` — objective dispatch used by the portfolio and
   the heuristic solver adapters.
 """
@@ -34,7 +43,12 @@ from .lower import (
     hall_deficiency,
     lower_bound_for,
     matching_feasibility,
+    multi_interval_gap_lower_bound,
+    multi_interval_power_lower_bound,
+    multiproc_gap_lower_bound,
+    multiproc_power_lower_bound,
     power_lower_bound,
+    union_components,
     window_components,
 )
 
@@ -44,6 +58,11 @@ __all__ = [
     "power_lower_bound",
     "hall_deficiency",
     "matching_feasibility",
+    "multiproc_gap_lower_bound",
+    "multiproc_power_lower_bound",
+    "multi_interval_gap_lower_bound",
+    "multi_interval_power_lower_bound",
     "lower_bound_for",
+    "union_components",
     "window_components",
 ]

@@ -11,6 +11,10 @@ __all__ = ["BOUND_KINDS", "BoundCertificate"]
 BOUND_KINDS = (
     "gap-structure",
     "power-structure",
+    "multiproc-gap-structure",
+    "multiproc-power-structure",
+    "multiinterval-gap-structure",
+    "multiinterval-power-structure",
     "hall-deficiency",
     "matching-feasibility",
 )

@@ -20,7 +20,11 @@ from __future__ import annotations
 from bisect import bisect_right
 from typing import Dict, List, Optional, Tuple
 
-from ..core.jobs import MultiprocessorInstance, OneIntervalInstance
+from ..core.jobs import (
+    MultiIntervalInstance,
+    MultiprocessorInstance,
+    OneIntervalInstance,
+)
 from ..matching import hopcroft_karp
 from .certificate import BoundCertificate
 
@@ -30,6 +34,11 @@ __all__ = [
     "power_lower_bound",
     "hall_deficiency",
     "matching_feasibility",
+    "multiproc_gap_lower_bound",
+    "multiproc_power_lower_bound",
+    "union_components",
+    "multi_interval_gap_lower_bound",
+    "multi_interval_power_lower_bound",
     "lower_bound_for",
 ]
 
@@ -352,15 +361,226 @@ def matching_feasibility(instance) -> BoundCertificate:
     )
 
 
+# ---------------------------------------------------------------------------
+# multiprocessor bounds (Hall-deficiency per window component)
+# ---------------------------------------------------------------------------
+def _processor_requirement(instance: OneIntervalInstance) -> Dict[str, object]:
+    """Minimal ``p`` with non-positive Hall deficiency, plus the proof.
+
+    Returns ``{"processors": p_min, "window": [x, y] | None, "demand": D |
+    None}``.  When ``p_min > 1`` the window certifies that ``p_min - 1``
+    processors are overloaded: ``D`` jobs live entirely inside ``[x, y]``
+    but only ``(p_min - 1) * (y - x + 1)`` slots exist there.  Binary
+    search over ``p`` — ``hall_deficiency`` is monotone in ``p``.
+    """
+    n = instance.num_jobs
+    if n == 0:
+        return {"processors": 0, "window": None, "demand": None}
+    lo, hi = 1, n
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if hall_deficiency(instance, mid).value <= 0:
+            hi = mid
+        else:
+            lo = mid + 1
+    if lo == 1:
+        return {"processors": 1, "window": None, "demand": None}
+    short = hall_deficiency(instance, lo - 1).witness
+    return {
+        "processors": lo,
+        "window": [short["x"], short["y"]],
+        "demand": short["demand"],
+    }
+
+
+def _component_requirements(
+    base: OneIntervalInstance,
+) -> List[Dict[str, object]]:
+    """Per-window-component processor requirements with Hall witnesses."""
+    components = window_components(base)
+    starts = [a for a, _b in components]
+    buckets: List[List] = [[] for _ in components]
+    for job in base.jobs:
+        buckets[bisect_right(starts, job.release) - 1].append(job)
+    entries = []
+    for span, jobs in zip(components, buckets):
+        need = _processor_requirement(OneIntervalInstance(jobs))
+        entries.append({"span": list(span), **need})
+    return entries
+
+
+def multiproc_gap_lower_bound(
+    instance: MultiprocessorInstance,
+) -> BoundCertificate:
+    """``opt_gaps >= sum_i m_i - p`` on ``p`` processors.
+
+    ``m_i`` is the minimal processor count on which window component ``i``
+    alone is feasible (Hall's condition).  Any complete schedule has at
+    least ``m_i`` processors busy inside component ``i``; a processor busy
+    in ``c`` components has at least ``c - 1`` gaps, so summing over
+    processors gives at least ``sum_i m_i - p`` gaps in total.
+    """
+    base = instance.single_processor_view()
+    entries = _component_requirements(base)
+    total = sum(entry["processors"] for entry in entries)
+    return BoundCertificate(
+        kind="multiproc-gap-structure",
+        objective="gaps",
+        value=max(0, total - instance.num_processors),
+        witness={
+            "num_processors": instance.num_processors,
+            "components": entries,
+        },
+    )
+
+
+def multiproc_power_lower_bound(
+    instance: MultiprocessorInstance, alpha: float
+) -> BoundCertificate:
+    """``opt_power >= n + q * alpha + max(0, sum_i m_i - q) * min(1, alpha)``.
+
+    ``q`` is the minimal processor count for the whole instance (each of
+    the at-least-``q`` busy processors pays its first wake-up), and the
+    component argument of :func:`multiproc_gap_lower_bound` charges every
+    forced extra gap at the ``min(1, alpha)`` floor.
+    """
+    alpha = float(alpha)
+    base = instance.single_processor_view()
+    n = base.num_jobs
+    entries = _component_requirements(base)
+    total = sum(entry["processors"] for entry in entries)
+    overall = _processor_requirement(base)
+    q = overall["processors"]
+    value = n + q * alpha + max(0, total - q) * min(1.0, alpha) if n else 0.0
+    return BoundCertificate(
+        kind="multiproc-power-structure",
+        objective="power",
+        value=value,
+        witness={
+            "num_processors": instance.num_processors,
+            "num_jobs": n,
+            "min_processors": overall,
+            "components": entries,
+        },
+        alpha=alpha,
+    )
+
+
+# ---------------------------------------------------------------------------
+# multi-interval bounds (components of the union of allowed times)
+# ---------------------------------------------------------------------------
+def union_components(instance: MultiIntervalInstance) -> List[Tuple[int, int]]:
+    """Maximal runs of consecutive slots in the union of allowed times."""
+    components: List[Tuple[int, int]] = []
+    for t in instance.all_times:
+        if components and t == components[-1][1] + 1:
+            components[-1] = (components[-1][0], t)
+        else:
+            components.append((t, t))
+    return components
+
+
+def _pinned_components(
+    instance: MultiIntervalInstance, components: List[Tuple[int, int]]
+) -> List[List[int]]:
+    """``[component_index, job_index]`` pairs for jobs stuck in one run.
+
+    A job whose allowed times all fall inside one component must execute
+    there; each such component therefore holds a busy slot.  Jobs whose
+    times straddle several components pin nothing.
+    """
+    starts = [a for a, _b in components]
+    pinned: Dict[int, int] = {}
+    for idx, job in enumerate(instance.jobs):
+        lo, hi = min(job.times), max(job.times)
+        pos = bisect_right(starts, lo) - 1
+        if hi <= components[pos][1] and pos not in pinned:
+            pinned[pos] = idx
+    return [[pos, pinned[pos]] for pos in sorted(pinned)]
+
+
+def multi_interval_gap_lower_bound(
+    instance: MultiIntervalInstance,
+) -> BoundCertificate:
+    """``opt_gaps >= (#pinned components) - 1`` for multi-interval jobs.
+
+    Busy slots appear in every component that wholly contains some job's
+    allowed set, and distinct components are separated by slots no job may
+    use — forced idle time, hence a gap between each consecutive pair.
+    """
+    components = union_components(instance)
+    pinned = _pinned_components(instance, components)
+    return BoundCertificate(
+        kind="multiinterval-gap-structure",
+        objective="gaps",
+        value=max(0, len(pinned) - 1),
+        witness={
+            "components": [list(span) for span in components],
+            "pinned": pinned,
+        },
+    )
+
+
+def multi_interval_power_lower_bound(
+    instance: MultiIntervalInstance, alpha: float
+) -> BoundCertificate:
+    """``opt_power >= n + alpha + sum(min(uncovered_i, alpha))``.
+
+    ``uncovered_i`` is the number of slots between consecutive *pinned*
+    components that belong to no job's allowed set: those slots are idle
+    in every schedule, and the idle intervals between two pinned busy
+    regions cost at least ``min(total width, alpha)`` (sub-additivity of
+    ``min(., alpha)``).
+    """
+    alpha = float(alpha)
+    components = union_components(instance)
+    pinned = _pinned_components(instance, components)
+    n = instance.num_jobs
+    seams = []
+    for (i, _j1), (k, _j2) in zip(pinned, pinned[1:]):
+        between = components[k][0] - components[i][1] - 1
+        covered = sum(b - a + 1 for a, b in components[i + 1 : k])
+        seams.append(between - covered)
+    idle_charge = sum(min(float(s), alpha) for s in seams)
+    value = n + alpha + idle_charge if n else 0.0
+    return BoundCertificate(
+        kind="multiinterval-power-structure",
+        objective="power",
+        value=value,
+        witness={
+            "components": [list(span) for span in components],
+            "pinned": pinned,
+            "seams": seams,
+            "num_jobs": n,
+        },
+        alpha=alpha,
+    )
+
+
 def lower_bound_for(problem) -> Optional[BoundCertificate]:
     """The cheap lower bound matching ``problem``'s objective, or ``None``.
 
-    Only single-processor one-interval instances are covered — exactly the
-    regime where the portfolio's scalable heuristics run.
+    Covers single-processor one-interval instances (the large-n regime the
+    portfolio's heuristics target), ``p``-processor instances via
+    per-component Hall deficiency, and multi-interval instances via the
+    components of the union of allowed times.  Only the ``"throughput"``
+    objective is left unbounded.
     """
     instance = problem.instance
     if isinstance(instance, MultiprocessorInstance) and instance.num_processors == 1:
         instance = instance.single_processor_view()
+    if isinstance(instance, MultiprocessorInstance):
+        if problem.objective == "gaps":
+            return multiproc_gap_lower_bound(instance)
+        if problem.objective == "power":
+            return multiproc_power_lower_bound(instance, problem.alpha)
+        return None
+    if isinstance(instance, MultiIntervalInstance):
+        if problem.objective == "gaps":
+            return multi_interval_gap_lower_bound(instance)
+        if problem.objective == "power":
+            return multi_interval_power_lower_bound(instance, problem.alpha)
+        return None
     if not isinstance(instance, OneIntervalInstance):
         return None
     if problem.objective == "gaps":

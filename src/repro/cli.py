@@ -373,7 +373,8 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run the solve_stream throughput microbenchmark instead of the "
         "interval-DP matrix (own schema, default output BENCH_stream.json; "
-        "honors --out/--repeats/--seed only)",
+        "--append grows a BENCH_stream.jsonl history and --compare gates "
+        "jobs/sec against its rolling median)",
     )
 
     serve = sub.add_parser(
@@ -933,17 +934,19 @@ def _dispatch(argv: Optional[Sequence[str]] = None) -> int:
         )
 
         if args.stream:
-            from .perf import run_stream_bench, write_stream_report
+            from .perf import (
+                append_stream_history,
+                compare_stream_history,
+                run_stream_bench,
+                write_stream_report,
+            )
+            from .perf.streambench import DEFAULT_STREAM_THRESHOLD
 
             conflicting = [
                 flag
                 for flag, value in [
                     ("--warmup", args.warmup),
                     ("--check", args.check),
-                    ("--compare", args.compare),
-                    ("--threshold", args.threshold),
-                    ("--append", args.append),
-                    ("--median-window", args.median_window),
                     ("--filter", args.filter),
                 ]
                 if value is not None
@@ -954,9 +957,18 @@ def _dispatch(argv: Optional[Sequence[str]] = None) -> int:
                 conflicting.append("--portfolio")
             if conflicting:
                 parser.error(
-                    f"--stream honors --out/--repeats/--seed only; drop "
+                    f"--stream honors --out/--repeats/--seed/--append/"
+                    f"--compare/--median-window/--threshold only; drop "
                     f"{', '.join(conflicting)}"
                 )
+            if args.threshold is not None and args.compare is None:
+                parser.error("--threshold is only meaningful with --compare")
+            if args.threshold is not None and args.threshold <= 1.0:
+                parser.error("--threshold must be > 1.0 for --stream")
+            if args.median_window is not None and args.compare is None:
+                parser.error("--median-window is only meaningful with --compare")
+            if args.median_window is not None and args.median_window < 1:
+                parser.error("--median-window must be >= 1")
             stream_report = run_stream_bench(seed=args.seed, repeats=args.repeats)
             for entry in stream_report["backends"]:
                 print(
@@ -967,6 +979,38 @@ def _dispatch(argv: Optional[Sequence[str]] = None) -> int:
             out = args.out or "BENCH_stream.json"
             write_stream_report(stream_report, out)
             print(f"stream report written to {out}")
+            if args.compare is not None:
+                window = args.median_window or 5
+                threshold = (
+                    args.threshold
+                    if args.threshold is not None
+                    else DEFAULT_STREAM_THRESHOLD
+                )
+                try:
+                    regressions, samples = compare_stream_history(
+                        stream_report, args.compare, window, threshold
+                    )
+                except OSError as exc:
+                    parser.error(f"cannot read history {args.compare!r}: {exc}")
+                except BenchSchemaError as exc:
+                    print(f"stream history error: {exc}")
+                    return 1
+                if regressions:
+                    print(
+                        f"stream throughput regression vs {args.compare} "
+                        f"(rolling median, window {window}):"
+                    )
+                    for line in regressions:
+                        print(f"  - {line}")
+                    return 1
+                print(
+                    f"stream throughput gate passed vs {args.compare} "
+                    f"({samples} historical sample(s), window {window}, "
+                    f"threshold {threshold:g}x)"
+                )
+            if args.append is not None:
+                append_stream_history(stream_report, args.append)
+                print(f"stream history appended to {args.append}")
             return 0
 
         if args.check is not None:

@@ -27,7 +27,7 @@ from __future__ import annotations
 import heapq
 import time as _time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from .feasibility import edf_schedule
 from .jobs import OneIntervalInstance
@@ -107,6 +107,7 @@ def merge_local_search(
     deadline: Optional[float] = None,
     move_budget_factor: int = DEFAULT_MOVE_BUDGET_FACTOR,
     max_sweeps: int = DEFAULT_MAX_SWEEPS,
+    on_improve: Optional[Callable[[Dict[int, int]], None]] = None,
 ) -> LocalSearchResult:
     """Improve ``schedule`` (default: the EDF list schedule) by merging blocks.
 
@@ -123,6 +124,13 @@ def merge_local_search(
         The search re-places at most ``factor * n + 64`` jobs in total,
         keeping adversarial cascades (one ever-growing block re-placed at
         every boundary) from going quadratic.
+    on_improve:
+        Called with the current ``job -> time`` map after the starting
+        schedule is fixed and again after every accepted merge.  Every
+        map passed is a feasible schedule of the full instance — this is
+        the any-time hook the portfolio racer uses to harvest incumbents
+        from a search that is later hard-killed mid-sweep.  The callback
+        must not mutate the map it is handed.
     """
     if objective not in ("gaps", "power"):
         raise ValueError(f"unsupported local-search objective {objective!r}")
@@ -139,6 +147,8 @@ def merge_local_search(
     result = LocalSearchResult(schedule=schedule)
     if n == 0:
         return result
+    if on_improve is not None:
+        on_improve(times)
 
     def gap_cost(length: int) -> float:
         return float(min(length, alpha)) if objective == "power" else 0.0
@@ -204,6 +214,8 @@ def merge_local_search(
             times.update(fit)
             result.merges += 1
             improved = True
+            if on_improve is not None:
+                on_improve(times)
             merged = sorted(
                 [(t, j) for j, t in fit.items()]
                 + (left if which == 0 else right)

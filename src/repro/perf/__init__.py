@@ -18,7 +18,11 @@ from .bench import (
     time_callable,
 )
 from .streambench import (
+    STREAM_HISTORY_SCHEMA,
     STREAM_SCHEMA,
+    append_stream_history,
+    compare_stream_history,
+    read_stream_history,
     run_stream_bench,
     validate_stream_report,
     write_stream_report,
@@ -50,9 +54,13 @@ __all__ = [
     "run_bench",
     "time_callable",
     "STREAM_SCHEMA",
+    "STREAM_HISTORY_SCHEMA",
     "run_stream_bench",
     "validate_stream_report",
     "write_stream_report",
+    "append_stream_history",
+    "read_stream_history",
+    "compare_stream_history",
     "BENCH_SCHEMA",
     "HISTORY_SCHEMA",
     "BenchSchemaError",

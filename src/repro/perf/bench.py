@@ -528,12 +528,15 @@ def _run_portfolio_case(
             "upper": float(gap["upper"]),
             "lower": None if gap.get("lower") is None else float(gap["lower"]),
             "ratio": None if gap.get("ratio") is None else float(gap["ratio"]),
+            "backend": race.get("backend", "serial"),
+            "preemptive": bool(race.get("preemptive", False)),
             "members": [
                 {
                     "name": member["name"],
                     "state": member["state"],
                     "status": member.get("status"),
                     "wall_time": member.get("wall_time"),
+                    "kill_reason": member.get("kill_reason"),
                 }
                 for member in race["members"]
             ],

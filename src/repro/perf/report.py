@@ -44,11 +44,14 @@ Per-case keys::
     speedup_vs_mono engine median / decomposed median (null if not measured)
     portfolio       budget-raced portfolio block (null on the exact-DP
                     cases): ``{"budget", "status", "winner", "upper",
-                    "lower", "ratio", "members"}`` where ``members`` lists
-                    every roster member's ``{"name", "state", "status",
-                    "wall_time"}``; on portfolio cases the ``engine`` block
-                    times the end-to-end raced solve and every other
-                    comparison column is null
+                    "lower", "ratio", "backend", "preemptive", "members"}``
+                    where ``members`` lists every roster member's
+                    ``{"name", "state", "status", "wall_time",
+                    "kill_reason"}`` — the state/reason pair explains where
+                    the budget went (``killed``/``beaten`` means a finisher
+                    pinned the optimum first); on portfolio cases the
+                    ``engine`` block times the end-to-end raced solve and
+                    every other comparison column is null
     engine_stats    pruning/memo counters of one v2 engine run
     engine_v3_stats counters of one v3 engine run (null without engine_v3);
                     includes the kernel-engagement counters
@@ -74,9 +77,13 @@ and records the numpy version in the environment block, so
 :func:`compare_reports` can warn (without failing) when two reports were
 produced on different numeric stacks; ``bench-dp/v5`` adds the nullable
 ``portfolio`` case block for the budget-raced large-n family (per-member
-times and the realized certified gap).  Portfolio cases carry no v1
-column and their wall time is pinned by the budget, not the machine, so
-:func:`compare_reports` records them as skipped instead of gating them.
+times and the realized certified gap); ``bench-dp/v6`` extends the
+portfolio block for preemptive racing — per-member ``kill_reason``
+(``beaten`` / ``deadline`` / ``admission`` / ``error``), the ``killed``
+member state, and the block-level ``backend`` / ``preemptive`` flags.
+Portfolio cases carry no v1 column and their wall time is pinned by the
+budget, not the machine, so :func:`compare_reports` records them as
+skipped instead of gating them.
 """
 
 from __future__ import annotations
@@ -98,7 +105,7 @@ __all__ = [
     "DEFAULT_REGRESSION_MIN_MEDIAN",
 ]
 
-BENCH_SCHEMA = "repro.perf/bench-dp/v5"
+BENCH_SCHEMA = "repro.perf/bench-dp/v6"
 
 #: A case regresses when its fresh engine median exceeds the committed
 #: median by more than this factor.
@@ -141,8 +148,20 @@ _CASE_KEYS = {
     "engine_v3_stats",
 }
 _TIMING_KEYS = {"best", "median", "mean", "runs"}
-_PORTFOLIO_KEYS = {"budget", "status", "winner", "upper", "lower", "ratio", "members"}
-_PORTFOLIO_MEMBER_KEYS = {"name", "state", "status", "wall_time"}
+_PORTFOLIO_KEYS = {
+    "budget",
+    "status",
+    "winner",
+    "upper",
+    "lower",
+    "ratio",
+    "backend",
+    "preemptive",
+    "members",
+}
+_PORTFOLIO_MEMBER_KEYS = {"name", "state", "status", "wall_time", "kill_reason"}
+_MEMBER_STATES = ("ran", "killed", "cancelled")
+_KILL_REASONS = ("beaten", "deadline", "admission", "error")
 
 
 class BenchSchemaError(ValueError):
@@ -223,6 +242,10 @@ def _check_portfolio(label: str, block: Any) -> None:
     for key in ("lower", "ratio"):
         if block[key] is not None and not isinstance(block[key], (int, float)):
             raise BenchSchemaError(f"{label}.{key}: must be a number or null")
+    if not isinstance(block["backend"], str) or not block["backend"]:
+        raise BenchSchemaError(f"{label}.backend: must be a non-empty string")
+    if not isinstance(block["preemptive"], bool):
+        raise BenchSchemaError(f"{label}.preemptive: must be a boolean")
     members = block["members"]
     if not isinstance(members, list) or not members:
         raise BenchSchemaError(f"{label}.members: must be a non-empty list")
@@ -233,9 +256,9 @@ def _check_portfolio(label: str, block: Any) -> None:
         _require_keys(member_label, member, _PORTFOLIO_MEMBER_KEYS)
         if not isinstance(member["name"], str) or not member["name"]:
             raise BenchSchemaError(f"{member_label}.name: must be a non-empty string")
-        if member["state"] not in ("ran", "cancelled"):
+        if member["state"] not in _MEMBER_STATES:
             raise BenchSchemaError(
-                f"{member_label}.state: must be 'ran' or 'cancelled'"
+                f"{member_label}.state: must be one of {_MEMBER_STATES}"
             )
         if member["status"] is not None and not isinstance(member["status"], str):
             raise BenchSchemaError(f"{member_label}.status: must be a string or null")
@@ -244,6 +267,17 @@ def _check_portfolio(label: str, block: Any) -> None:
         ):
             raise BenchSchemaError(
                 f"{member_label}.wall_time: must be a number or null"
+            )
+        reason = member["kill_reason"]
+        if member["state"] == "ran":
+            if reason is not None:
+                raise BenchSchemaError(
+                    f"{member_label}.kill_reason: must be null for state 'ran'"
+                )
+        elif reason not in _KILL_REASONS:
+            raise BenchSchemaError(
+                f"{member_label}.kill_reason: must be one of {_KILL_REASONS} "
+                f"for state {member['state']!r}"
             )
 
 

@@ -1,20 +1,42 @@
-"""The portfolio racer: members, deadline dispatch, and gap certification.
+"""The portfolio racer: concurrent members, hard kills, any-time incumbents.
 
-Cancellation semantics follow what the runtime layer can actually deliver:
-members not yet dispatched when the deadline passes are *cancelled*
-(recorded as such, never run), the local-search members stop sweeping
-cooperatively at the deadline (via
-:func:`repro.api.solvers.heuristic_deadline`), and the exact DP — the only
-member that cannot be interrupted once started — is admitted only when the
-instance is small enough (:data:`DEFAULT_EXACT_JOB_LIMIT`) and budget
-remains.  Running threads are never killed; the race is deterministic
-given the member order, which is fixed cheapest-first.
+Two dispatch disciplines, chosen by what the resolved backend session can
+actually deliver (``session.can_kill``):
+
+**Preemptive racing** (pool-backed process sessions).  Every roster
+member — including the exact DP, with no job-count admission rule —
+launches in its own worker process at t=0.  The first finisher that
+*pins* the race (a proven-optimal or proven-infeasible answer, or a
+feasible value meeting the certified lower bound) hard-kills the losers
+immediately (kill reason ``"beaten"``); budget expiry hard-kills
+everything still running (``"deadline"``).  Members stream improving
+feasible schedules over the any-time incumbent channel
+(:func:`repro.runtime.pool.publish_incumbent`) while they run, so a
+member killed mid-solve still contributes its best published schedule to
+the final answer.  When the deadline passes before *any* answer or
+incumbent exists, the cheapest still-running member is spared the kill
+and awaited — a tiny budget degrades to "one heuristic, slightly late",
+never to "no answer".
+
+**Cooperative racing** (serial and thread sessions, which cannot stop a
+running task).  The historical two-wave discipline: deadline-aware
+heuristics first, then the exact DP admitted only when the instance is
+small enough (:data:`DEFAULT_EXACT_JOB_LIMIT`) and enough budget remains
+(it cannot be cancelled once started).  Refused members are recorded as
+``"cancelled"`` with kill reason ``"admission"`` (too large) or
+``"deadline"`` (budget exhausted).
+
+Determinism: given budget headroom, the returned *value*, *status*, and
+*optimality gap* are deterministic on every backend.  The cooperative
+path additionally fixes the winning member and its schedule; under
+preemptive racing the winning member name is timing-dependent by design
+(any winner is certified equally).
 """
 
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 from ..api.problem import Problem
 from ..api.registry import capable_solvers, solve
@@ -23,20 +45,23 @@ from ..api.solvers import heuristic_deadline
 from ..bounds import hall_deficiency, lower_bound_for
 from ..core.exceptions import ReproError, SolverError
 from ..core.jobs import OneIntervalInstance
+from ..core.schedule import Schedule
 from ..runtime.backends import resolve_backend
+from ..runtime.pool import WorkerLostError
 from ..verify.certificates import values_close
 
 __all__ = ["DEFAULT_EXACT_JOB_LIMIT", "default_members", "run_portfolio"]
 
-#: Largest instance the exact DP member is admitted on.  Beyond this the DP
-#: cannot be cancelled mid-solve, so the racer refuses to start it.
+#: Largest instance the exact DP member is admitted on under *cooperative*
+#: dispatch, where a started DP cannot be stopped.  Preemptive sessions
+#: ignore it: the DP races from t=0 and is hard-killed at the deadline.
 DEFAULT_EXACT_JOB_LIMIT = 400
 
-#: Fraction of the budget that must remain for the exact DP to be dispatched.
+#: Fraction of the budget that must remain for the cooperative path to
+#: dispatch the exact DP.
 _EXACT_DISPATCH_FRACTION = 0.2
 
-#: Member order per objective, cheapest first.  The exact DP rides last and
-#: only when admitted.
+#: Member order per objective, cheapest first.  The exact DP rides last.
 _HEURISTIC_MEMBERS = {
     "gaps": ("edf-gap", "localsearch-gap"),
     "power": ("edf-power", "localsearch-power"),
@@ -50,10 +75,15 @@ def default_members(
     """The racing roster for ``problem``, cheapest member first.
 
     Single-processor one-interval instances get the scalable heuristics
-    plus the exact DP when ``n <= exact_job_limit``; every other
-    instance/objective combination degrades to the automatic-dispatch
-    solver alone (still budget-accounted, still enveloped).
+    plus the exact DP — at *every* size: whether the DP actually runs is
+    a dispatch-time decision (preemptive sessions race it under hard
+    kill; cooperative ones apply the ``exact_job_limit`` admission rule).
+    Every other instance/objective combination degrades to the
+    automatic-dispatch solver alone (still budget-accounted, still
+    enveloped).  ``exact_job_limit`` is accepted for signature
+    compatibility; it no longer filters the roster.
     """
+    del exact_job_limit  # admission moved to dispatch time
     instance = problem.instance
     capable = {spec.name for spec in capable_solvers(problem)}
     members: List[str] = []
@@ -64,7 +94,7 @@ def default_members(
             if name in capable
         ]
         exact = _EXACT_MEMBERS.get(problem.objective)
-        if exact in capable and instance.num_jobs <= exact_job_limit:
+        if exact in capable:
             members.append(exact)
     if not members:
         # Fallback roster: whatever automatic dispatch would run.
@@ -99,6 +129,223 @@ def _is_exact_member(problem: Problem, name: str) -> bool:
     return name == _EXACT_MEMBERS.get(problem.objective)
 
 
+def _pins(result: SolveResult, bound) -> bool:
+    """True when ``result`` settles the race: no other member can beat it."""
+    if result.status in ("optimal", "infeasible"):
+        return True
+    if not result.feasible or result.value is None:
+        return False
+    if bound is None:
+        return False
+    return result.value <= bound.value or values_close(result.value, bound.value)
+
+
+def _incumbent_result(problem: Problem, payload: Any) -> Optional[SolveResult]:
+    """Rebuild a full result from a killed member's published incumbent.
+
+    The payload is the worker's ``{"times": {job: slot}}`` map; it is
+    re-validated here (a schedule published microseconds before a
+    ``SIGTERM`` could in principle be torn) — an invalid payload is
+    dropped, never returned.
+    """
+    if not isinstance(payload, dict):
+        return None
+    times = payload.get("times")
+    if not isinstance(times, dict):
+        return None
+    try:
+        schedule = Schedule(
+            instance=problem.instance,
+            assignment={int(j): int(t) for j, t in times.items()},
+        )
+        schedule.validate()
+        if problem.objective == "gaps":
+            value: float = schedule.num_gaps()
+        elif problem.objective == "power":
+            value = schedule.power_cost(problem.alpha)
+        else:
+            return None
+    except (ReproError, TypeError, ValueError):
+        return None
+    return SolveResult(
+        status="approximate",
+        objective=problem.objective,
+        value=value,
+        schedule=schedule,
+        extra={"any_time_incumbent": True},
+    )
+
+
+def _preemptive_race(
+    session,
+    problem: Problem,
+    roster: List[str],
+    budget: float,
+    deadline: float,
+    start: float,
+    bound,
+) -> Tuple[Dict[str, SolveResult], Dict[str, str], Dict[str, SolveResult], Dict[str, float]]:
+    """Race every member concurrently from t=0 under hard-kill discipline.
+
+    Returns ``(results, killed, incumbents, wall)``: completed member
+    results, kill reasons for the members stopped early, reconstructed
+    incumbent results for killed members that published one, and
+    per-member wall time (time-to-finish for completions, time-to-kill
+    for the stopped ones).
+    """
+    results: Dict[str, SolveResult] = {}
+    killed: Dict[str, str] = {}
+    incumbents: Dict[str, SolveResult] = {}
+    wall: Dict[str, float] = {}
+    outstanding: Set[int] = set()
+
+    for tag, name in enumerate(roster):
+        session.submit(tag, (problem, name, budget))
+        outstanding.add(tag)
+
+    def note_finish(tag: int, result: SolveResult) -> None:
+        outstanding.discard(tag)
+        name = roster[tag]
+        results[name] = result
+        elapsed = time.perf_counter() - start
+        wall[name] = (
+            result.wall_time if result.wall_time is not None else elapsed
+        )
+
+    def note_lost(tags: List[int]) -> None:
+        for tag in tags:
+            if tag in outstanding:
+                outstanding.discard(tag)
+                killed[roster[tag]] = "error"
+                wall[roster[tag]] = time.perf_counter() - start
+
+    def kill_tags(tags: List[int], reason: str) -> None:
+        for tag in tags:
+            if tag not in outstanding:
+                continue
+            if session.kill(tag):
+                outstanding.discard(tag)
+                name = roster[tag]
+                killed[name] = reason
+                wall[name] = time.perf_counter() - start
+                payload = session.take_incumbent(tag)
+                if payload is not None:
+                    incumbent = _incumbent_result(problem, payload)
+                    if incumbent is not None:
+                        incumbents[name] = incumbent
+            # kill() returning False means the member finished in the
+            # kill window: its result is already buffered and the drain
+            # below collects it as a normal completion.
+
+    def drain(until: Optional[float]) -> None:
+        """Collect completions until ``until`` (None: until all land)."""
+        while outstanding:
+            timeout = None if until is None else until - time.perf_counter()
+            if timeout is not None and timeout <= 0:
+                break
+            try:
+                item = session.pop(timeout=timeout)
+            except WorkerLostError as exc:
+                note_lost(exc.tags)
+                continue
+            except LookupError:
+                break
+            if item is None:
+                break
+            note_finish(*item)
+
+    pinned = False
+    while outstanding and not pinned:
+        now = time.perf_counter()
+        if now >= deadline:
+            break
+        try:
+            item = session.pop(timeout=min(0.1, deadline - now))
+        except WorkerLostError as exc:
+            note_lost(exc.tags)
+            continue
+        if item is None:
+            continue
+        tag, result = item
+        note_finish(tag, result)
+        if _pins(result, bound):
+            pinned = True
+            kill_tags(sorted(outstanding), "beaten")
+            # Members that completed while the kills were being issued
+            # are already buffered; collect them within a short window.
+            drain(time.perf_counter() + 1.0)
+
+    if outstanding:
+        # Budget expired.  Spare the cheapest still-running member when
+        # nothing usable exists yet — a tiny budget must still return a
+        # feasible answer, exactly like the cooperative path's
+        # always-run-one-heuristic rule.
+        have_answer = bool(incumbents) or any(
+            res.feasible or res.status == "infeasible"
+            for res in results.values()
+        )
+        if have_answer:
+            kill_tags(sorted(outstanding), "deadline")
+            drain(time.perf_counter() + 1.0)
+        else:
+            spared = min(outstanding)
+            kill_tags(sorted(outstanding - {spared}), "deadline")
+            drain(None)  # block for the spared member
+    return results, killed, incumbents, wall
+
+
+def _cooperative_race(
+    session,
+    problem: Problem,
+    roster: List[str],
+    budget: float,
+    deadline: float,
+    exact_job_limit: int,
+) -> Tuple[Dict[str, SolveResult], Dict[str, str]]:
+    """The historical two-wave dispatch for sessions that cannot kill.
+
+    Returns ``(results, cancelled)`` with cancellation reasons:
+    ``"admission"`` (exact DP refused on size) or ``"deadline"`` (budget
+    exhausted before dispatch).
+    """
+    wave1 = [name for name in roster if not _is_exact_member(problem, name)]
+    wave2 = [name for name in roster if _is_exact_member(problem, name)]
+    results: Dict[str, SolveResult] = {}
+    cancelled: Dict[str, str] = {}
+    in_flight: List[str] = []
+    for name in wave1:
+        remaining = deadline - time.perf_counter()
+        if remaining <= 0 and in_flight:
+            cancelled[name] = "deadline"
+            continue
+        session.submit(len(in_flight), (problem, name, max(remaining, 0.01)))
+        in_flight.append(name)
+    for _ in range(len(in_flight)):
+        tag, outcome = session.pop()
+        results[in_flight[tag]] = outcome
+    for name in wave2:
+        remaining = deadline - time.perf_counter()
+        if results:
+            # The DP cannot be stopped once started: refuse it when the
+            # instance is too large to finish predictably, or when so
+            # little budget remains that admitting it would blow the
+            # deadline.  (With no other answer at all it runs anyway —
+            # an answer late beats no answer on time.)
+            if (
+                isinstance(problem.instance, OneIntervalInstance)
+                and problem.instance.num_jobs > exact_job_limit
+            ):
+                cancelled[name] = "admission"
+                continue
+            if remaining < budget * _EXACT_DISPATCH_FRACTION:
+                cancelled[name] = "deadline"
+                continue
+        session.submit(0, (problem, name, max(remaining, 0.01)))
+        _tag, outcome = session.pop()
+        results[name] = outcome
+    return results, cancelled
+
+
 def run_portfolio(
     problem: Problem,
     budget: float,
@@ -115,13 +362,14 @@ def run_portfolio(
     ``solver="portfolio"``, ``extra["optimality_gap"]`` carrying the
     certified ``lower/upper/ratio`` triple (when a lower bound exists for
     the instance class), and ``extra["portfolio"]`` recording the budget,
-    the winner, and every member's outcome — including the ones cancelled
-    at the deadline.
+    the winner, and every member's outcome — wall time and kill reason
+    included for the members stopped early.
 
-    Deterministic given ``seed`` and a sufficient budget: the roster, the
-    dispatch order, and the best-value-then-cheapest tie-break are all
-    fixed (``seed`` is reserved for randomized future members; none of the
-    current roster uses randomness).
+    With no explicit ``backend``/``workers`` and no configured default,
+    the race runs on the warm process pool sized to the roster, which
+    enables preemptive racing (see the module docstring); configuring a
+    serial or thread backend selects the cooperative two-wave discipline
+    instead.
     """
     if budget <= 0:
         raise ValueError(f"budget must be positive, got {budget}")
@@ -134,39 +382,33 @@ def run_portfolio(
     )
     bound = lower_bound_for(problem)
 
-    # Two dispatch waves.  Wave 1: the cooperative heuristics — cheap,
-    # deadline-aware, raced concurrently where the backend allows.  Wave 2:
-    # the exact DP, admitted against the *measured* remaining budget (on
-    # the serial backend a submit only executes at pop time, so deciding
-    # the DP before the heuristics have actually run would race against a
-    # clock that hasn't started).
-    wave1 = [name for name in roster if not _is_exact_member(problem, name)]
-    wave2 = [name for name in roster if _is_exact_member(problem, name)]
+    # One worker per member: the roster races concurrently even when the
+    # host has fewer cores (any-time semantics want every member started,
+    # not a queue).  The legacy workers rule turns this into the pooled
+    # process backend unless something explicitly configured otherwise.
+    effective_workers = workers if workers is not None else len(roster)
+    backend_obj = resolve_backend(backend, effective_workers)
+
     results: Dict[str, SolveResult] = {}
-    cancelled: List[str] = []
-    backend_obj = resolve_backend(backend, workers)
-    with backend_obj.session(_race_member) as session:
-        in_flight: List[str] = []
-        for name in wave1:
-            remaining = deadline - time.perf_counter()
-            if remaining <= 0 and in_flight:
-                cancelled.append(name)
-                continue
-            session.submit(len(in_flight), (problem, name, max(remaining, 0.01)))
-            in_flight.append(name)
-        for _ in range(len(in_flight)):
-            tag, outcome = session.pop()
-            results[in_flight[tag]] = outcome
-        for name in wave2:
-            remaining = deadline - time.perf_counter()
-            if results and remaining < budget * _EXACT_DISPATCH_FRACTION:
-                # The DP cannot be stopped once started; with this little
-                # budget left, admitting it would blow the deadline.
-                cancelled.append(name)
-                continue
-            session.submit(0, (problem, name, max(remaining, 0.01)))
-            _tag, outcome = session.pop()
-            results[name] = outcome
+    killed: Dict[str, str] = {}
+    cancelled: Dict[str, str] = {}
+    incumbents: Dict[str, SolveResult] = {}
+    wall: Dict[str, float] = {}
+    with backend_obj.session(_race_member, 1) as session:
+        preemptive = bool(getattr(session, "can_kill", False))
+        if preemptive:
+            results, killed, incumbents, wall = _preemptive_race(
+                session, problem, roster, budget, deadline, start, bound
+            )
+        else:
+            results, cancelled = _cooperative_race(
+                session, problem, roster, budget, deadline, exact_job_limit
+            )
+            wall = {
+                name: res.wall_time
+                for name, res in results.items()
+                if res.wall_time is not None
+            }
 
     records: List[Dict[str, object]] = []
     for name in roster:
@@ -178,16 +420,40 @@ def run_portfolio(
                     "state": "ran",
                     "status": res.status,
                     "value": res.value,
-                    "wall_time": res.wall_time,
+                    "wall_time": wall.get(name, res.wall_time),
+                    "kill_reason": None,
                 }
             )
+        elif name in killed:
+            record: Dict[str, object] = {
+                "name": name,
+                "state": "killed",
+                "status": None,
+                "value": None,
+                "wall_time": wall.get(name),
+                "kill_reason": killed[name],
+            }
+            if name in incumbents:
+                record["incumbent"] = True
+                record["value"] = incumbents[name].value
+            records.append(record)
         elif name in cancelled:
-            records.append({"name": name, "state": "cancelled"})
+            records.append(
+                {
+                    "name": name,
+                    "state": "cancelled",
+                    "status": None,
+                    "value": None,
+                    "wall_time": None,
+                    "kill_reason": cancelled[name],
+                }
+            )
 
-    total = time.perf_counter() - start
     portfolio_extra: Dict[str, object] = {
         "budget": budget,
         "seed": seed,
+        "backend": backend_obj.name,
+        "preemptive": preemptive,
         "members": records,
         "winner": None,
         "lower_bound": bound.to_dict() if bound is not None else None,
@@ -197,7 +463,10 @@ def run_portfolio(
         (name, results[name]) for name in roster
         if name in results and results[name].status != "error"
     ]
-    if not completed:
+    candidates = completed + [
+        (name, incumbents[name]) for name in roster if name in incumbents
+    ]
+    if not candidates:
         errors = {
             name: results[name].extra for name in results
             if results[name].status == "error"
@@ -206,7 +475,7 @@ def run_portfolio(
             f"every portfolio member failed within the {budget}s budget: {errors}"
         )
 
-    feasible = [(name, res) for name, res in completed if res.feasible]
+    feasible = [(name, res) for name, res in candidates if res.feasible]
     if not feasible:
         # The EDF members decide feasibility exactly on one-interval
         # instances; attach the scalable Hall certificate when budget

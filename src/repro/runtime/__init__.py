@@ -9,6 +9,10 @@ tiers a solve consults before doing DP work.
   with ``serial`` / ``thread`` / ``process`` implementations, a registry
   for third-party backends, and the ``configure_backend()`` /
   ``REPRO_BACKEND`` selection chain.
+* :mod:`repro.runtime.pool` — the persistent :class:`WorkerPool` behind
+  the ``process`` backend: warm worker processes reused across sessions,
+  hard task kills (terminate-and-respawn), config-generation re-sync,
+  and the any-time incumbent channel (``publish_incumbent()``).
 * :mod:`repro.runtime.stream` — :func:`solve_stream`, the chunked
   bounded-memory pipeline with deterministic-order mode, in-flight
   canonical dedupe, and per-task error capture; and :func:`run_tasks`,
@@ -35,6 +39,7 @@ Quickstart::
 from .backends import (
     BACKEND_ENV_VAR,
     Backend,
+    ColdProcessBackend,
     ExecutionSession,
     ProcessBackend,
     SerialBackend,
@@ -45,6 +50,15 @@ from .backends import (
     default_backend_name,
     register_backend,
     resolve_backend,
+)
+from .pool import (
+    PoolSession,
+    WorkerLostError,
+    WorkerPool,
+    get_worker_pool,
+    publish_incumbent,
+    shutdown_worker_pool,
+    worker_pool_stats,
 )
 from .diskcache import (
     CACHE_DIR_ENV_VAR,
@@ -69,6 +83,7 @@ __all__ = [
     "SerialBackend",
     "ThreadBackend",
     "ProcessBackend",
+    "ColdProcessBackend",
     "available_backends",
     "register_backend",
     "configure_backend",
@@ -81,6 +96,14 @@ __all__ = [
     "configure_disk_cache",
     "disk_cache_dir",
     "get_disk_cache",
+    # the persistent worker pool
+    "PoolSession",
+    "WorkerLostError",
+    "WorkerPool",
+    "get_worker_pool",
+    "publish_incumbent",
+    "shutdown_worker_pool",
+    "worker_pool_stats",
     # streaming pipeline
     "TaskOutcome",
     "run_tasks",

@@ -52,6 +52,7 @@ __all__ = [
     "SerialBackend",
     "ThreadBackend",
     "ProcessBackend",
+    "ColdProcessBackend",
     "BACKEND_ENV_VAR",
     "available_backends",
     "register_backend",
@@ -83,14 +84,43 @@ class ExecutionSession:
     Task callables must never raise — the stream layer wraps them so every
     exception is captured as a per-task outcome.  A raising task is a
     programming error and propagates out of :meth:`pop`.
+
+    Preemption is optional: sessions advertise it via :attr:`can_kill`.
+    Only sessions backed by worker processes (the pool-backed process
+    backend) can actually terminate a running task; the base surface
+    keeps the other backends honest with explicit no-op semantics so the
+    portfolio racer can feature-detect instead of type-checking.
     """
+
+    #: True when :meth:`kill` can actually stop a *running* task.
+    can_kill = False
 
     def submit(self, tag: int, item: object) -> None:
         raise NotImplementedError
 
-    def pop(self) -> Tuple[int, object]:
-        """Block until one submitted task completes and return its outcome."""
+    def pop(self, timeout: Optional[float] = None) -> Optional[Tuple[int, object]]:
+        """Return one completed ``(tag, outcome)`` pair.
+
+        Blocks until a task completes when ``timeout`` is ``None``;
+        otherwise waits at most ``timeout`` seconds and returns ``None``
+        when nothing finished in time.
+        """
         raise NotImplementedError
+
+    def kill(self, tag: int) -> bool:
+        """Hard-stop task ``tag`` if this session can; returns ``True`` on stop.
+
+        The base implementation cannot interrupt anything and returns
+        ``False``; killed tags (where supported) never surface from
+        :meth:`pop`.
+        """
+        return False
+
+    def take_incumbent(self, tag: int) -> Optional[object]:
+        """Latest any-time incumbent published by ``tag``, if the backend
+        carries an incumbent channel (only the pool-backed process
+        sessions do)."""
+        return None
 
     @property
     def in_flight(self) -> int:
@@ -117,7 +147,7 @@ class _SerialSession(ExecutionSession):
     def submit(self, tag: int, item: object) -> None:
         self._ready.append((tag, self._fn(item)))
 
-    def pop(self) -> Tuple[int, object]:
+    def pop(self, timeout: Optional[float] = None) -> Optional[Tuple[int, object]]:
         if not self._ready:
             raise LookupError("no task in flight")
         return self._ready.popleft()
@@ -156,14 +186,18 @@ class _ExecutorSession(ExecutionSession):
             chunk, self._buffer = self._buffer, []
             self._futures[self._executor.submit(_run_chunk, self._fn, chunk)] = None
 
-    def pop(self) -> Tuple[int, object]:
+    def pop(self, timeout: Optional[float] = None) -> Optional[Tuple[int, object]]:
         if self._ready:
             self._in_flight -= 1
             return self._ready.popleft()
         self._flush()
         if not self._futures:
             raise LookupError("no task in flight")
-        done, _pending = wait(list(self._futures), return_when=FIRST_COMPLETED)
+        done, _pending = wait(
+            list(self._futures), timeout=timeout, return_when=FIRST_COMPLETED
+        )
+        if not done:
+            return None  # timeout expired with nothing finished
         for future in done:
             del self._futures[future]
             self._ready.extend(future.result())
@@ -242,11 +276,31 @@ class ThreadBackend(Backend):
 
 
 class ProcessBackend(Backend):
-    """Process-pool execution for CPU-bound DP work; tasks must pickle."""
+    """Process execution for CPU-bound DP work; tasks must pickle.
+
+    Sessions draw warm workers from the process-wide
+    :class:`~repro.runtime.pool.WorkerPool` — interpreters spawned once
+    and reused across sessions — and support hard preemption
+    (``can_kill``) plus the any-time incumbent channel.  Pass
+    ``warm=False`` (or use the registered ``process-cold`` backend) to
+    get the historical fresh-``ProcessPoolExecutor``-per-session
+    behavior; the stream bench races the two to keep the warm-pool win
+    measured.
+    """
 
     name = "process"
 
+    def __init__(self, workers: Optional[int] = None, warm: bool = True) -> None:
+        super().__init__(workers)
+        self.warm = bool(warm)
+
     def session(self, fn: Callable, chunksize: int = 1) -> ExecutionSession:
+        if self.warm:
+            from .pool import get_worker_pool
+
+            return get_worker_pool().session(
+                fn, self.effective_workers, chunksize
+            )
         from concurrent.futures import ProcessPoolExecutor
 
         return _ExecutorSession(
@@ -254,10 +308,25 @@ class ProcessBackend(Backend):
         )
 
 
+class ColdProcessBackend(ProcessBackend):
+    """The pre-pool process backend: a fresh executor per session.
+
+    Exists as the measured baseline for the warm pool (``bench
+    --stream`` reports both) and as an escape hatch when a caller wants
+    process isolation without leaving warm workers behind.
+    """
+
+    name = "process-cold"
+
+    def __init__(self, workers: Optional[int] = None) -> None:
+        super().__init__(workers, warm=False)
+
+
 _BACKENDS: Dict[str, Type[Backend]] = {
     SerialBackend.name: SerialBackend,
     ThreadBackend.name: ThreadBackend,
     ProcessBackend.name: ProcessBackend,
+    ColdProcessBackend.name: ColdProcessBackend,
 }
 
 #: Process-wide default backend name installed by :func:`configure_backend`.

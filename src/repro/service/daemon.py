@@ -138,6 +138,12 @@ class SchedulerDaemon:
         finally:
             if self.metrics is not None:
                 remove_task_observer(self.metrics.observe)
+            # The daemon owns the process tree it spawned: solve batches run
+            # through the shared warm pool, so a stopping daemon must reap
+            # those workers or every drain leaks them.
+            from ..runtime.pool import shutdown_worker_pool
+
+            shutdown_worker_pool()
             self.state = "stopped"
 
     # -- one claimed window ---------------------------------------------------

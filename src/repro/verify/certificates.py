@@ -420,6 +420,117 @@ def _check_density(instance, density, issues: List[str]) -> int:
     return bound
 
 
+def _check_processor_claim(
+    jobs, claimed: int, window, demand, label: str, issues: List[str]
+) -> None:
+    """Re-check "these jobs need at least ``claimed`` processors".
+
+    The witness window ``[x, y]`` must be overloaded on ``claimed - 1``
+    processors: more jobs confined to it than ``(claimed - 1) * width``
+    slots.  A claim of one processor (or none, for an empty job set) needs
+    no window.
+    """
+    if claimed <= 1:
+        return
+    if not isinstance(window, (list, tuple)) or len(window) != 2:
+        issues.append(f"{label} processor claim {claimed} lacks a Hall window")
+        return
+    x, y = window
+    recount = sum(1 for job in jobs if job.release >= x and job.deadline <= y)
+    if demand is not None and recount != demand:
+        issues.append(
+            f"{label} Hall window [{x}, {y}] demand {demand} != "
+            f"recomputed {recount}"
+        )
+    capacity = (claimed - 1) * (y - x + 1)
+    if recount <= capacity:
+        issues.append(
+            f"{label} window [{x}, {y}] holds {recount} jobs in "
+            f"{capacity} slots on {claimed - 1} processors — no overload, "
+            f"so {claimed} processors are not proven necessary"
+        )
+
+
+def _check_multiproc_components(instance, witness, issues: List[str]) -> int:
+    """Validity of a per-component processor-requirement witness.
+
+    Returns the witnessed ``sum_i m_i`` (0 when the witness is malformed,
+    which also records an issue via the component checks).
+    """
+    p = witness.get("num_processors")
+    if p != instance.num_processors:
+        issues.append(
+            f"bound claims {p} processors, instance has "
+            f"{instance.num_processors}"
+        )
+    entries = witness.get("components", [])
+    spans = [entry.get("span", []) for entry in entries]
+    _check_components(instance, spans, issues)
+    total = 0
+    for entry in entries:
+        span = entry.get("span", [])
+        claimed = entry.get("processors", 0)
+        window = entry.get("window")
+        if window is not None and (
+            window[0] < span[0] or window[1] > span[1]
+        ):
+            issues.append(
+                f"Hall window {window} escapes its component span {span}"
+            )
+            continue
+        _check_processor_claim(
+            instance.jobs, claimed, window, entry.get("demand"),
+            f"component {span}", issues,
+        )
+        total += max(1, int(claimed))
+    return total
+
+
+def _check_union_components(instance, witness, issues: List[str]) -> List:
+    """Validity of an allowed-time-union witness for multi-interval jobs.
+
+    Re-derives the maximal runs of the union of allowed times and checks
+    the claimed components match exactly; each pinned job's allowed set
+    must lie wholly inside its claimed component.  Returns the (validated)
+    pinned list.
+    """
+    union = sorted({t for job in instance.jobs for t in job.times})
+    runs: List[List[int]] = []
+    for t in union:
+        if runs and t == runs[-1][1] + 1:
+            runs[-1][1] = t
+        else:
+            runs.append([t, t])
+    claimed = [list(span) for span in witness.get("components", [])]
+    if claimed != runs:
+        issues.append(
+            f"claimed components {claimed} != recomputed union runs {runs}"
+        )
+        return []
+    pinned = [list(pair) for pair in witness.get("pinned", [])]
+    seen_components = set()
+    for pos, job_idx in pinned:
+        if not 0 <= pos < len(runs) or not 0 <= job_idx < instance.num_jobs:
+            issues.append(f"pinned pair [{pos}, {job_idx}] is out of range")
+            return []
+        if pos in seen_components:
+            issues.append(f"component {pos} pinned twice")
+            return []
+        seen_components.add(pos)
+        times = instance.jobs[job_idx].times
+        a, b = runs[pos]
+        if min(times) < a or max(times) > b:
+            issues.append(
+                f"job {job_idx} is claimed pinned to component {runs[pos]} "
+                "but may run outside it"
+            )
+            return []
+    if pinned != sorted(pinned):
+        issues.append("pinned components are not in time order")
+        return []
+    return pinned
+
+
 def certify_bound(problem: Problem, bound) -> Certificate:
     """Independently re-check a :class:`repro.bounds.BoundCertificate`.
 
@@ -490,6 +601,102 @@ def certify_bound(problem: Problem, bound) -> Certificate:
         expected = n + alpha + idle if n else 0.0
         if not values_close(bound.value, expected):
             issues.append(f"power bound {bound.value} != recomputed {expected}")
+    elif bound.kind == "multiproc-gap-structure":
+        if problem.objective != "gaps":
+            issues.append(
+                f"multiproc gap bound certified against a "
+                f"{problem.objective!r} problem"
+            )
+        if not isinstance(instance, MultiprocessorInstance):
+            issues.append(
+                "multiproc-gap-structure bounds require a multiprocessor instance"
+            )
+            return Certificate(ok=False, issues=issues)
+        total = _check_multiproc_components(instance, bound.witness, issues)
+        expected = max(0, total - instance.num_processors)
+        if bound.value != expected:
+            issues.append(
+                f"multiproc gap bound {bound.value} != recomputed {expected}"
+            )
+    elif bound.kind == "multiproc-power-structure":
+        if problem.objective != "power":
+            issues.append(
+                f"multiproc power bound certified against a "
+                f"{problem.objective!r} problem"
+            )
+        if not isinstance(instance, MultiprocessorInstance):
+            issues.append(
+                "multiproc-power-structure bounds require a multiprocessor instance"
+            )
+            return Certificate(ok=False, issues=issues)
+        alpha = float(bound.alpha if bound.alpha is not None else problem.alpha)
+        if problem.alpha is not None and not values_close(alpha, problem.alpha):
+            issues.append(f"bound alpha {alpha} != problem alpha {problem.alpha}")
+        total = _check_multiproc_components(instance, bound.witness, issues)
+        overall = bound.witness.get("min_processors") or {}
+        q = overall.get("processors", 0)
+        _check_processor_claim(
+            instance.jobs, q, overall.get("window"), overall.get("demand"),
+            "whole-instance", issues,
+        )
+        n = instance.num_jobs
+        expected = n + q * alpha + max(0, total - q) * min(1.0, alpha) if n else 0.0
+        if not values_close(bound.value, expected):
+            issues.append(
+                f"multiproc power bound {bound.value} != recomputed {expected}"
+            )
+    elif bound.kind == "multiinterval-gap-structure":
+        if problem.objective != "gaps":
+            issues.append(
+                f"multi-interval gap bound certified against a "
+                f"{problem.objective!r} problem"
+            )
+        if not isinstance(instance, MultiIntervalInstance):
+            issues.append(
+                "multiinterval-gap-structure bounds require a multi-interval instance"
+            )
+            return Certificate(ok=False, issues=issues)
+        pinned = _check_union_components(instance, bound.witness, issues)
+        expected = max(0, len(pinned) - 1)
+        if bound.value != expected:
+            issues.append(
+                f"multi-interval gap bound {bound.value} != recomputed {expected}"
+            )
+    elif bound.kind == "multiinterval-power-structure":
+        if problem.objective != "power":
+            issues.append(
+                f"multi-interval power bound certified against a "
+                f"{problem.objective!r} problem"
+            )
+        if not isinstance(instance, MultiIntervalInstance):
+            issues.append(
+                "multiinterval-power-structure bounds require a "
+                "multi-interval instance"
+            )
+            return Certificate(ok=False, issues=issues)
+        alpha = float(bound.alpha if bound.alpha is not None else problem.alpha)
+        if problem.alpha is not None and not values_close(alpha, problem.alpha):
+            issues.append(f"bound alpha {alpha} != problem alpha {problem.alpha}")
+        pinned = _check_union_components(instance, bound.witness, issues)
+        components = [tuple(span) for span in bound.witness.get("components", [])]
+        seams = []
+        for (i, _j1), (k, _j2) in zip(pinned, pinned[1:]):
+            between = components[k][0] - components[i][1] - 1
+            covered = sum(b - a + 1 for a, b in components[i + 1 : k])
+            seams.append(between - covered)
+        if list(bound.witness.get("seams", [])) != seams:
+            issues.append(
+                f"seam witness {bound.witness.get('seams')} != recomputed {seams}"
+            )
+        n = instance.num_jobs
+        expected = (
+            n + alpha + sum(min(float(s), alpha) for s in seams) if n else 0.0
+        )
+        if not values_close(bound.value, expected):
+            issues.append(
+                f"multi-interval power bound {bound.value} != "
+                f"recomputed {expected}"
+            )
     elif bound.kind == "hall-deficiency":
         windows = [job.window for job in instance.jobs]
         p = bound.witness.get(

@@ -206,16 +206,140 @@ class TestLowerBoundFor:
         cert = lower_bound_for(Problem(objective="gaps", instance=inst))
         assert cert is not None and cert.value == 1
 
-    def test_none_for_unsupported_instances(self):
+    def test_multiproc_and_multi_interval_are_now_bounded(self):
+        # Historically these returned None, leaving large portfolio solves
+        # uncertified; both regimes now get finite certified bounds.
         multi = MultiIntervalInstance.from_time_lists([[0, 1], [4, 5]])
-        assert (
-            lower_bound_for(Problem(objective="power", instance=multi, alpha=1.0))
-            is None
+        cert = lower_bound_for(
+            Problem(objective="power", instance=multi, alpha=1.0)
         )
+        assert cert is not None
+        assert cert.kind == "multiinterval-power-structure"
         two_proc = MultiprocessorInstance.from_pairs(
             [(0, 1), (0, 1)], num_processors=2
         )
-        assert lower_bound_for(Problem(objective="gaps", instance=two_proc)) is None
+        cert = lower_bound_for(Problem(objective="gaps", instance=two_proc))
+        assert cert is not None
+        assert cert.kind == "multiproc-gap-structure"
+
+    def test_none_for_throughput(self):
+        multi = MultiIntervalInstance.from_time_lists([[0, 1], [4, 5]])
+        assert (
+            lower_bound_for(
+                Problem(objective="throughput", instance=multi, max_gaps=1)
+            )
+            is None
+        )
+
+
+class TestMultiprocBounds:
+    def test_components_needing_many_processors(self):
+        # Two well-separated triple-overloaded windows on 2 processors:
+        # each component needs 3 processors busy, so >= 3 + 3 - 2 = 4 gaps.
+        pairs = [(0, 0)] * 3 + [(10, 10)] * 3
+        inst = MultiprocessorInstance.from_pairs(pairs, num_processors=2)
+        problem = Problem(objective="gaps", instance=inst)
+        cert = lower_bound_for(problem)
+        assert cert.value == 4
+        assert certify_bound(problem, cert).ok
+
+    def test_roundtrips_through_dict(self):
+        inst = MultiprocessorInstance.from_pairs(
+            [(0, 1), (0, 1), (8, 9)], num_processors=2
+        )
+        problem = Problem(objective="power", instance=inst, alpha=2.0)
+        cert = lower_bound_for(problem)
+        assert certify_bound(problem, cert.to_dict()).ok
+
+    def test_sound_against_exact_dp(self):
+        rng = random.Random(7)
+        for _ in range(40):
+            n = rng.randint(1, 8)
+            horizon = rng.randint(2, 12)
+            pairs = []
+            for _ in range(n):
+                r = rng.randrange(horizon)
+                pairs.append((r, r + rng.randint(0, horizon - r)))
+            inst = MultiprocessorInstance.from_pairs(
+                pairs, num_processors=rng.randint(2, 3)
+            )
+            for problem in (
+                Problem(objective="gaps", instance=inst),
+                Problem(objective="power", instance=inst, alpha=1.5),
+            ):
+                cert = lower_bound_for(problem)
+                assert certify_bound(problem, cert).ok
+                result = solve(problem, on_infeasible="result")
+                if result.status == "optimal":
+                    assert cert.value <= result.value + 1e-9
+
+    def test_rejects_inflated_processor_claim(self):
+        inst = MultiprocessorInstance.from_pairs(
+            [(0, 1), (0, 1), (0, 1), (0, 1)], num_processors=2
+        )
+        problem = Problem(objective="gaps", instance=inst)
+        cert = lower_bound_for(problem)
+        tampered = cert.to_dict()
+        entry = tampered["witness"]["components"][0]
+        entry["processors"] += 1
+        tampered["value"] += 1
+        assert not certify_bound(problem, tampered).ok
+
+
+class TestMultiIntervalBounds:
+    def test_pinned_components_force_gaps(self):
+        # Job 0 straddles both runs (pins nothing); jobs 1 and 2 are each
+        # stuck in their own run, forcing one gap between them.
+        inst = MultiIntervalInstance.from_time_lists(
+            [[1, 11], [0, 1], [10, 11]]
+        )
+        problem = Problem(objective="gaps", instance=inst)
+        cert = lower_bound_for(problem)
+        assert cert.value == 1
+        assert cert.witness["components"] == [[0, 1], [10, 11]]
+        assert certify_bound(problem, cert).ok
+
+    def test_straddling_jobs_pin_nothing(self):
+        inst = MultiIntervalInstance.from_time_lists([[0, 9], [1, 10]])
+        problem = Problem(objective="gaps", instance=inst)
+        cert = lower_bound_for(problem)
+        assert cert.value == 0
+        assert certify_bound(problem, cert).ok
+
+    def test_power_charges_uncovered_seams(self):
+        # 6 uncovered slots between the two pinned runs, alpha = 2.5:
+        # n + alpha + min(6, alpha) = 2 + 2.5 + 2.5.
+        inst = MultiIntervalInstance.from_time_lists([[0, 1], [8, 9]])
+        problem = Problem(objective="power", instance=inst, alpha=2.5)
+        cert = lower_bound_for(problem)
+        assert cert.value == pytest.approx(7.0)
+        assert certify_bound(problem, cert).ok
+
+    def test_sound_against_brute_force(self):
+        rng = random.Random(11)
+        for _ in range(40):
+            lists = [
+                sorted(rng.sample(range(14), rng.randint(1, 4)))
+                for _ in range(rng.randint(1, 6))
+            ]
+            inst = MultiIntervalInstance.from_time_lists(lists)
+            problem = Problem(objective="gaps", instance=inst)
+            cert = lower_bound_for(problem)
+            assert certify_bound(problem, cert).ok
+            result = solve(
+                problem, solver="brute-force-gaps", on_infeasible="result"
+            )
+            if result.status == "optimal":
+                assert cert.value <= result.value
+
+    def test_rejects_fabricated_pin(self):
+        inst = MultiIntervalInstance.from_time_lists([[0, 9], [1, 10]])
+        problem = Problem(objective="gaps", instance=inst)
+        cert = lower_bound_for(problem)
+        tampered = cert.to_dict()
+        tampered["witness"]["pinned"] = [[0, 0], [1, 1]]
+        tampered["value"] = 1
+        assert not certify_bound(problem, tampered).ok
 
 
 class TestBoundCertificate:

@@ -40,13 +40,15 @@ class TestDefaultMembers:
         )
         assert roster == ["edf-gap", "localsearch-gap", "gap-dp"]
 
-    def test_large_instance_drops_exact(self):
+    def test_large_instance_keeps_exact_in_roster(self):
+        # Admission moved from roster construction to dispatch time: the
+        # exact DP is always rostered; preemptive sessions race it under
+        # hard kill, cooperative ones refuse it at dispatch ("admission").
         inst = OneIntervalInstance.from_pairs(
             [(3 * i, 3 * i + 5) for i in range(DEFAULT_EXACT_JOB_LIMIT + 1)]
         )
         roster = default_members(Problem(objective="gaps", instance=inst))
-        assert "gap-dp" not in roster
-        assert roster == ["edf-gap", "localsearch-gap"]
+        assert roster == ["edf-gap", "localsearch-gap", "gap-dp"]
 
     def test_power_roster(self):
         roster = default_members(
@@ -96,9 +98,28 @@ class TestRunPortfolio:
         race = result.extra["portfolio"]
         names = [member["name"] for member in race["members"]]
         assert names == ["edf-gap", "localsearch-gap", "gap-dp"]
-        assert all(member["state"] == "ran" for member in race["members"])
+        for member in race["members"]:
+            # Preemptive racing may hard-kill beaten members; every record
+            # still carries its state, kill reason and wall time.
+            assert member["state"] in ("ran", "killed", "cancelled")
+            if member["state"] == "ran":
+                assert member["kill_reason"] is None
+                assert member["wall_time"] >= 0
+            elif member["state"] == "killed":
+                assert member["kill_reason"] in ("beaten", "deadline", "error")
+        assert any(member["state"] == "ran" for member in race["members"])
         assert race["winner"] in names
         assert race["budget"] == 5.0
+        assert race["backend"] in ("serial", "thread", "process", "process-cold")
+
+    def test_serial_backend_runs_every_member(self):
+        # The cooperative path keeps the historical guarantee: with budget
+        # headroom every rostered member actually runs to completion.
+        problem = Problem(objective="gaps", instance=small_instance())
+        result = run_portfolio(problem, budget=5.0, backend="serial")
+        race = result.extra["portfolio"]
+        assert race["preemptive"] is False
+        assert all(member["state"] == "ran" for member in race["members"])
 
     def test_infeasible_instance_attaches_hall_certificate(self):
         bad = OneIntervalInstance.from_pairs([(0, 1), (0, 1), (0, 1)])
@@ -117,9 +138,21 @@ class TestRunPortfolio:
             run_portfolio(problem, budget=0.0)
 
     def test_deterministic_given_budget_headroom(self):
+        # Preemptive racing fixes the value, status and certified gap given
+        # headroom; the winning member's *name* is timing-dependent by
+        # design (whoever pins first kills the rest).
         problem = Problem(objective="gaps", instance=small_instance())
         first = run_portfolio(problem, budget=5.0)
         second = run_portfolio(problem, budget=5.0)
+        assert first.value == second.value
+        assert first.status == second.status
+        assert first.extra["optimality_gap"] == second.extra["optimality_gap"]
+
+    def test_serial_backend_fully_deterministic(self):
+        # The cooperative path additionally fixes the winner and schedule.
+        problem = Problem(objective="gaps", instance=small_instance())
+        first = run_portfolio(problem, budget=5.0, backend="serial")
+        second = run_portfolio(problem, budget=5.0, backend="serial")
         assert first.value == second.value
         assert first.extra["portfolio"]["winner"] == (
             second.extra["portfolio"]["winner"]
@@ -133,19 +166,35 @@ class TestRunPortfolio:
         assert [member["name"] for member in race["members"]] == ["edf-gap"]
 
     def test_tight_budget_cancels_exact_member(self):
-        # A sub-millisecond budget still runs at least one heuristic but
-        # must cancel the unstoppable exact DP instead of admitting it.
+        # A sub-millisecond budget still returns a feasible answer, and the
+        # exact DP must not be allowed to blow the deadline: the
+        # cooperative path refuses to dispatch it ("cancelled"), the
+        # preemptive path hard-kills it ("killed" at the deadline).
         inst = OneIntervalInstance.from_pairs(
             [(3 * i, 3 * i + 5) for i in range(300)]
         )
         problem = Problem(objective="gaps", instance=inst)
         result = run_portfolio(problem, budget=1e-4)
-        states = {
-            member["name"]: member["state"]
+        members = {
+            member["name"]: member
             for member in result.extra["portfolio"]["members"]
         }
         assert result.feasible
-        assert states["gap-dp"] == "cancelled"
+        assert members["gap-dp"]["state"] in ("cancelled", "killed")
+
+    def test_tight_budget_serial_cancels_with_reason(self):
+        inst = OneIntervalInstance.from_pairs(
+            [(3 * i, 3 * i + 5) for i in range(300)]
+        )
+        problem = Problem(objective="gaps", instance=inst)
+        result = run_portfolio(problem, budget=1e-4, backend="serial")
+        members = {
+            member["name"]: member
+            for member in result.extra["portfolio"]["members"]
+        }
+        assert result.feasible
+        assert members["gap-dp"]["state"] == "cancelled"
+        assert members["gap-dp"]["kill_reason"] == "deadline"
 
 
 class TestFacadeBudget:
